@@ -1,0 +1,216 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (ICDCS 2014, §IV). Each benchmark runs its experiment end to end per
+// iteration and reports the figure's headline quantity as a custom metric,
+// so `go test -bench=. -benchmem` both times the harness and re-derives the
+// paper's qualitative results:
+//
+//	Fig 1: worst-player regret → ~0      (worst_regret_kbps)
+//	Fig 2: RTHS ≈ centralized MDP        (welfare_frac)
+//	Fig 3: even helper loads             (load_cv)
+//	Fig 4: fair per-peer bandwidth       (jain)
+//	Fig 5: server load ≈ minimum deficit (load_over_deficit)
+//	A1:    best response oscillates      (rths/br switch rates)
+//	A2:    tracking adapts, matching lags (early post-swap share)
+//	A3/A4: parameter and recursion ablations
+//
+// The sizes are trimmed relative to cmd/figures so a full -bench=. pass
+// stays in CI budget; the shapes are identical.
+package rths_test
+
+import (
+	"testing"
+
+	"rths"
+	"rths/internal/experiment"
+	"rths/internal/regret"
+)
+
+func benchScenario(stages int) rths.Scenario {
+	s := rths.SmallScale()
+	s.Stages = stages
+	s.Seed = 1
+	return s
+}
+
+func BenchmarkFig1WorstRegret(b *testing.B) {
+	s := rths.LargeScale()
+	s.NumPeers, s.NumHelpers, s.Stages = 60, 8, 1200
+	var final float64
+	for i := 0; i < b.N; i++ {
+		res, err := rths.Fig1(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final = res.Final
+	}
+	b.ReportMetric(final, "worst_regret_kbps")
+}
+
+func BenchmarkFig2WelfareVsMDP(b *testing.B) {
+	s := benchScenario(2000)
+	var ratio, opt float64
+	for i := 0; i < b.N; i++ {
+		res, err := rths.Fig2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio, opt = res.TailRatio, res.MDPOptimum
+	}
+	b.ReportMetric(ratio, "welfare_frac")
+	b.ReportMetric(opt, "mdp_optimum_kbps")
+}
+
+func BenchmarkFig3HelperLoad(b *testing.B) {
+	s := benchScenario(2000)
+	var cv float64
+	for i := 0; i < b.N; i++ {
+		res, err := rths.Fig3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cv = res.TailCV
+	}
+	b.ReportMetric(cv, "load_cv")
+}
+
+func BenchmarkFig4PeerRates(b *testing.B) {
+	s := benchScenario(2000)
+	var jain float64
+	for i := 0; i < b.N; i++ {
+		res, err := rths.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jain = res.Jain
+	}
+	b.ReportMetric(jain, "jain")
+}
+
+func BenchmarkFig5ServerLoad(b *testing.B) {
+	s := benchScenario(2000)
+	s.DemandPerPeer = 600
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, err := rths.Fig5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = res.TailGapFraction
+	}
+	b.ReportMetric(frac, "load_over_deficit")
+}
+
+func BenchmarkAblationBestResponseOscillation(b *testing.B) {
+	s := benchScenario(1500)
+	var rths0, br float64
+	for i := 0; i < b.N; i++ {
+		stats, err := experiment.AblationPolicies(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range stats {
+			switch st.Policy {
+			case "rths":
+				rths0 = st.SwitchRate
+			case "best-response":
+				br = st.SwitchRate
+			}
+		}
+	}
+	b.ReportMetric(rths0, "rths_switch_rate")
+	b.ReportMetric(br, "best_response_switch_rate")
+}
+
+func BenchmarkAblationTrackingVsMatching(b *testing.B) {
+	s := benchScenario(3000)
+	var track, match float64
+	for i := 0; i < b.N; i++ {
+		tr, err := experiment.AblationShift(s, regret.ModeTracking)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ma, err := experiment.AblationShift(s, regret.ModeMatching)
+		if err != nil {
+			b.Fatal(err)
+		}
+		track, match = tr.EarlyPostShare, ma.EarlyPostShare
+	}
+	b.ReportMetric(track, "tracking_early_share")
+	b.ReportMetric(match, "matching_early_share")
+}
+
+func BenchmarkAblationStepSize(b *testing.B) {
+	s := benchScenario(1000)
+	var worstWelfare float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiment.AblationSweep(s,
+			[]float64{0.01, 0.05}, []float64{0.05}, []float64{0.05, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstWelfare = 1
+		for _, p := range pts {
+			if p.WelfareFraction < worstWelfare {
+				worstWelfare = p.WelfareFraction
+			}
+		}
+	}
+	b.ReportMetric(worstWelfare, "min_welfare_frac_over_sweep")
+}
+
+func BenchmarkAblationPaperExactRecursion(b *testing.B) {
+	s := benchScenario(1500)
+	var tracking, paperExact float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.AblationRecursion(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			switch r.Mode {
+			case regret.ModeTracking:
+				tracking = r.WelfareFraction
+			case regret.ModePaperExact:
+				paperExact = r.WelfareFraction
+			default:
+			}
+		}
+	}
+	b.ReportMetric(tracking, "tracking_welfare_frac")
+	b.ReportMetric(paperExact, "paper_exact_welfare_frac")
+}
+
+// BenchmarkDistributedRuntime times the goroutine-per-node protocol end to
+// end — the concurrency cost of the message-passing implementation versus
+// the sequential simulator (BenchmarkSequentialSystem).
+func BenchmarkDistributedRuntime(b *testing.B) {
+	specs := make([]rths.HelperSpec, 4)
+	for j := range specs {
+		specs[j] = rths.DefaultHelperSpec()
+	}
+	for i := 0; i < b.N; i++ {
+		rt, err := rths.NewDistributed(rths.DistributedConfig{NumPeers: 10, Helpers: specs, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Run(500, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialSystem(b *testing.B) {
+	specs := make([]rths.HelperSpec, 4)
+	for j := range specs {
+		specs[j] = rths.DefaultHelperSpec()
+	}
+	for i := 0; i < b.N; i++ {
+		sys, err := rths.NewSystem(rths.SystemConfig{NumPeers: 10, Helpers: specs, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(500, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

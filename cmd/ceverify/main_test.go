@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunDefaultScale(t *testing.T) {
+	if err := run([]string{"-stages", "800", "-warmup", "200"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsWarmupBeyondStages(t *testing.T) {
+	if err := run([]string{"-stages", "100", "-warmup", "100"}); err == nil {
+		t.Fatal("warmup >= stages accepted")
+	}
+}

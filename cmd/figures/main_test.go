@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSingleFigure(t *testing.T) {
+	// Tiny horizon: exercises the full path of each artifact quickly.
+	for _, fig := range []string{"2", "3", "4", "5", "a4"} {
+		if err := run([]string{"-fig", fig, "-stages", "300"}); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

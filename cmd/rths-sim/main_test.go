@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSummaryAllPolicies(t *testing.T) {
+	for _, policy := range []string{
+		"rths", "matching", "paper-exact", "best-response",
+		"random", "egreedy", "least-loaded", "static",
+	} {
+		err := run([]string{"-policy", policy, "-stages", "200", "-peers", "6", "-helpers", "3"})
+		if err != nil {
+			t.Fatalf("policy %s: %v", policy, err)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-csv", "-stages", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithDemand(t *testing.T) {
+	if err := run([]string{"-demand", "400", "-stages", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownPolicy(t *testing.T) {
+	if err := run([]string{"-policy", "psychic"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package rths_test
+
+import (
+	"fmt"
+
+	"rths"
+)
+
+// ExampleNewSystem runs the paper's small-scale scenario and reports how
+// close decentralized RTHS play gets to the centralized optimum.
+func ExampleNewSystem() {
+	sys, err := rths.NewSystem(rths.SystemConfig{
+		NumPeers: 10,
+		Helpers: []rths.HelperSpec{
+			rths.DefaultHelperSpec(), rths.DefaultHelperSpec(),
+			rths.DefaultHelperSpec(), rths.DefaultHelperSpec(),
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	welfare, optimum := 0.0, 0.0
+	err = sys.Run(4000, func(r rths.StageResult) {
+		if r.Stage >= 2000 {
+			welfare += r.Welfare
+			optimum += r.OptWelfare
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("within 95%% of optimum: %v\n", welfare/optimum > 0.95)
+	// Output: within 95% of optimum: true
+}
+
+// ExampleSplitHelperPool shows the §V helper-level allocation: a pool is
+// split across channels in proportion to their aggregate demand before
+// peer-level selection runs inside each channel.
+func ExampleSplitHelperPool() {
+	counts, err := rths.SplitHelperPool([]rths.ChannelDemand{
+		{Name: "popular", Demand: 9600},
+		{Name: "niche", Demand: 2400},
+	}, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(counts)
+	// Output: [8 2]
+}
+
+// ExampleNewLearner drives a standalone R2HS learner against a fixed
+// two-armed bandit — the learning core without any streaming machinery.
+func ExampleNewLearner() {
+	cfg := rths.DefaultLearnerConfig(2, 1)
+	l, err := rths.NewLearner(cfg)
+	if err != nil {
+		panic(err)
+	}
+	// Feed a fixed gap: arm 1 always pays more.
+	utils := []float64{0.3, 0.9}
+	rng := rths.NewRand(7)
+	picks := 0
+	for s := 0; s < 3000; s++ {
+		a := l.Select(rng)
+		if err := l.Update(a, utils[a]); err != nil {
+			panic(err)
+		}
+		if s >= 1500 && a == 1 {
+			picks++
+		}
+	}
+	fmt.Printf("prefers the better arm: %v\n", picks > 1000)
+	// Output: prefers the better arm: true
+}

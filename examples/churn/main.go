@@ -1,0 +1,101 @@
+// Churn: peers join and leave under a Poisson/Zipf workload while RTHS
+// keeps re-balancing. Demonstrates trace generation, replay through the
+// multi-channel overlay, and playback continuity as the QoE readout.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"rths"
+)
+
+func main() {
+	const (
+		horizon = 2000
+		bitrate = 300.0
+	)
+	workload, err := rths.GenerateChurn(rths.ChurnConfig{
+		Horizon:      horizon,
+		ArrivalRate:  0.05, // one arrival every ~20 stages
+		MeanLifetime: 400,
+		Channels:     2,
+		ZipfS:        1,
+		SwitchRate:   0.002,
+		Seed:         11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The overlay pre-seeds peers with global ids 0..11; shift the trace's
+	// ids past them.
+	workload.OffsetPeerIDs(1000)
+	fmt.Printf("workload: %d events, peak audience %d, final audience %d\n",
+		len(workload.Events), workload.Peak, workload.FinalActive)
+
+	mk := func(n int) []rths.HelperSpec {
+		hs := make([]rths.HelperSpec, n)
+		for j := range hs {
+			hs[j] = rths.DefaultHelperSpec()
+		}
+		return hs
+	}
+	multi, err := rths.NewMultiChannel(rths.MultiChannelConfig{
+		Channels: []rths.ChannelConfig{
+			{Name: "main", Bitrate: bitrate, Helpers: mk(4), InitialPeers: 8},
+			{Name: "alt", Bitrate: bitrate, Helpers: mk(2), InitialPeers: 4},
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One playout buffer per global peer, created on first sight. Peers
+	// watch at the channel bitrate with a 2-stage startup buffer.
+	buffers := map[int]*rths.Buffer{}
+	minAudience, maxAudience := 1<<31, 0
+	err = multi.Replay(workload, horizon, func(res rths.MultiChannelResult) {
+		if res.ActivePeers < minAudience {
+			minAudience = res.ActivePeers
+		}
+		if res.ActivePeers > maxAudience {
+			maxAudience = res.ActivePeers
+		}
+		for _, ch := range res.Channels {
+			for i, peerID := range ch.PeerIDs {
+				buf := buffers[peerID]
+				if buf == nil {
+					var err error
+					buf, err = rths.NewBuffer(bitrate, 2)
+					if err != nil {
+						log.Fatal(err)
+					}
+					buffers[peerID] = buf
+				}
+				if _, err := buf.Tick(ch.Result.Rates[i]); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Continuity distribution across everyone who ever watched.
+	continuities := make([]float64, 0, len(buffers))
+	for _, b := range buffers {
+		continuities = append(continuities, b.Continuity())
+	}
+	sort.Float64s(continuities)
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(continuities)-1))
+		return continuities[idx]
+	}
+	fmt.Printf("audience range over the run: %d..%d concurrent viewers\n", minAudience, maxAudience)
+	fmt.Printf("viewers with playback history: %d\n", len(continuities))
+	fmt.Printf("playback continuity: p10 %.3f  median %.3f  p90 %.3f\n",
+		pct(0.10), pct(0.50), pct(0.90))
+}

@@ -1,0 +1,43 @@
+// Quickstart: the smallest useful RTHS program. Ten peers learn to share
+// four helpers whose bandwidth drifts over [700,800,900] kbps; we print how
+// close the swarm gets to the centralized optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rths"
+)
+
+func main() {
+	sys, err := rths.NewSystem(rths.SystemConfig{
+		NumPeers: 10,
+		Helpers: []rths.HelperSpec{
+			rths.DefaultHelperSpec(),
+			rths.DefaultHelperSpec(),
+			rths.DefaultHelperSpec(),
+			rths.DefaultHelperSpec(),
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const stages = 4000
+	welfare, optimum := 0.0, 0.0
+	err = sys.Run(stages, func(r rths.StageResult) {
+		if r.Stage >= stages/2 {
+			welfare += r.Welfare
+			optimum += r.OptWelfare
+		}
+		if (r.Stage+1)%1000 == 0 {
+			fmt.Printf("stage %4d  welfare %6.1f kbps  loads %v\n", r.Stage+1, r.Welfare, r.Loads)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntail welfare: %.1f%% of the centralized optimum\n", 100*welfare/optimum)
+}

@@ -1,0 +1,204 @@
+// Package alloc implements the helper-level allocation the paper names as
+// future work (§V): "joint bandwidth allocation in the helper level to the
+// video channels and helper selection in the peer level". Given the
+// channels' aggregate demands (audience × bitrate) and a pool of helpers
+// with known expected capacities, the allocator decides which helpers serve
+// which channel; inside each channel, RTHS then runs unchanged on the
+// channel's pool.
+//
+// Two allocators are provided:
+//
+//   - Greedy: repeatedly give the highest-capacity unassigned helper to the
+//     channel with the largest remaining deficit. This is the classic LPT
+//     rule; its maximum residual deficit is within one helper's capacity of
+//     the optimum (verified against brute force in the tests).
+//   - Proportional: split the pool by demand shares using the largest-
+//     remainder method — simpler, stateless, and fair when capacities are
+//     homogeneous.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Channel is one live channel's aggregate demand (kbps).
+type Channel struct {
+	Name   string
+	Demand float64
+}
+
+// Assignment maps helper index -> channel index.
+type Assignment []int
+
+// Greedy assigns every helper to a channel by largest-remaining-deficit
+// first, considering helpers in decreasing capacity order. capacities[h]
+// is helper h's (expected) upload bandwidth.
+func Greedy(channels []Channel, capacities []float64) (Assignment, error) {
+	if err := validate(channels, capacities); err != nil {
+		return nil, err
+	}
+	type idxCap struct {
+		idx int
+		cap float64
+	}
+	order := make([]idxCap, len(capacities))
+	for h, c := range capacities {
+		order[h] = idxCap{idx: h, cap: c}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].cap > order[b].cap })
+
+	remaining := make([]float64, len(channels))
+	for c, ch := range channels {
+		remaining[c] = ch.Demand
+	}
+	out := make(Assignment, len(capacities))
+	for _, hc := range order {
+		// The channel with the largest remaining deficit; ties to the lowest
+		// index for determinism.
+		best := 0
+		for c := 1; c < len(remaining); c++ {
+			if remaining[c] > remaining[best] {
+				best = c
+			}
+		}
+		out[hc.idx] = best
+		remaining[best] -= hc.cap
+	}
+	return out, nil
+}
+
+// Proportional splits the pool by demand share with the largest-remainder
+// method. Channel c receives round(poolSize · demand_c / Σ demand) helpers
+// (adjusted so the counts sum to the pool size); helpers are then dealt in
+// index order. When the pool is at least as large as the channel count,
+// every channel with positive demand receives at least one helper.
+func Proportional(channels []Channel, poolSize int) ([]int, error) {
+	if len(channels) == 0 {
+		return nil, errors.New("alloc: no channels")
+	}
+	if poolSize < 0 {
+		return nil, fmt.Errorf("alloc: pool size %d", poolSize)
+	}
+	total := 0.0
+	for c, ch := range channels {
+		if ch.Demand < 0 {
+			return nil, fmt.Errorf("alloc: channel %d demand %g", c, ch.Demand)
+		}
+		total += ch.Demand
+	}
+	counts := make([]int, len(channels))
+	if poolSize == 0 {
+		return counts, nil
+	}
+	if total == 0 {
+		// No demand information: spread evenly.
+		for c := range counts {
+			counts[c] = poolSize / len(channels)
+		}
+		for c := 0; c < poolSize%len(channels); c++ {
+			counts[c]++
+		}
+		return counts, nil
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(channels))
+	assigned := 0
+	for c, ch := range channels {
+		exact := float64(poolSize) * ch.Demand / total
+		counts[c] = int(exact)
+		assigned += counts[c]
+		rems[c] = rem{idx: c, frac: exact - float64(counts[c])}
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; k < poolSize-assigned; k++ {
+		counts[rems[k%len(rems)].idx]++
+	}
+	// Guarantee coverage when the pool allows it: move spares from the
+	// richest channels to demand-positive channels left empty.
+	if poolSize >= len(channels) {
+		for c, ch := range channels {
+			if counts[c] == 0 && ch.Demand > 0 {
+				donor := richest(counts)
+				counts[donor]--
+				counts[c]++
+			}
+		}
+	}
+	return counts, nil
+}
+
+func richest(counts []int) int {
+	best := 0
+	for c := 1; c < len(counts); c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Deficits returns each channel's residual demand max(0, demand - supply)
+// under the assignment.
+func Deficits(channels []Channel, capacities []float64, a Assignment) ([]float64, error) {
+	if err := validate(channels, capacities); err != nil {
+		return nil, err
+	}
+	if len(a) != len(capacities) {
+		return nil, fmt.Errorf("alloc: assignment length %d, want %d", len(a), len(capacities))
+	}
+	supply := make([]float64, len(channels))
+	for h, c := range a {
+		if c < 0 || c >= len(channels) {
+			return nil, fmt.Errorf("alloc: helper %d assigned to channel %d of %d", h, c, len(channels))
+		}
+		supply[c] += capacities[h]
+	}
+	out := make([]float64, len(channels))
+	for c, ch := range channels {
+		if d := ch.Demand - supply[c]; d > 0 {
+			out[c] = d
+		}
+	}
+	return out, nil
+}
+
+// MaxDeficit returns the largest entry of Deficits — the quantity Greedy
+// approximately minimizes.
+func MaxDeficit(channels []Channel, capacities []float64, a Assignment) (float64, error) {
+	ds, err := Deficits(channels, capacities, a)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, d := range ds {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+func validate(channels []Channel, capacities []float64) error {
+	if len(channels) == 0 {
+		return errors.New("alloc: no channels")
+	}
+	if len(capacities) == 0 {
+		return errors.New("alloc: no helpers")
+	}
+	for c, ch := range channels {
+		if ch.Demand < 0 {
+			return fmt.Errorf("alloc: channel %d demand %g", c, ch.Demand)
+		}
+	}
+	for h, cap := range capacities {
+		if cap <= 0 {
+			return fmt.Errorf("alloc: helper %d capacity %g", h, cap)
+		}
+	}
+	return nil
+}

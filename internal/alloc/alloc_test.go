@@ -1,0 +1,238 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rths/internal/xrand"
+)
+
+func TestValidation(t *testing.T) {
+	chans := []Channel{{Name: "a", Demand: 100}}
+	if _, err := Greedy(nil, []float64{1}); err == nil {
+		t.Fatal("no channels accepted")
+	}
+	if _, err := Greedy(chans, nil); err == nil {
+		t.Fatal("no helpers accepted")
+	}
+	if _, err := Greedy([]Channel{{Demand: -1}}, []float64{1}); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if _, err := Greedy(chans, []float64{0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestGreedyCoversLargestDeficitFirst(t *testing.T) {
+	chans := []Channel{
+		{Name: "big", Demand: 2000},
+		{Name: "small", Demand: 500},
+	}
+	caps := []float64{800, 800, 800}
+	a, err := Greedy(chans, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect two helpers on the 2000-demand channel, one on the other.
+	counts := [2]int{}
+	for _, c := range a {
+		counts[c]++
+	}
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("assignment counts = %v (assignment %v)", counts, a)
+	}
+	ds, err := Deficits(chans, caps, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ds[0]-400) > 1e-9 || ds[1] != 0 {
+		t.Fatalf("deficits = %v", ds)
+	}
+}
+
+func TestGreedyDeterministicTies(t *testing.T) {
+	chans := []Channel{{Demand: 1000}, {Demand: 1000}}
+	caps := []float64{500, 500}
+	a1, err := Greedy(chans, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Greedy(chans, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := range a1 {
+		if a1[h] != a2[h] {
+			t.Fatal("greedy not deterministic")
+		}
+	}
+	// One helper per channel under symmetric ties.
+	if a1[0] == a1[1] {
+		t.Fatalf("tie-breaking stacked both helpers: %v", a1)
+	}
+}
+
+// bruteMaxDeficit finds the optimal assignment by exhaustive search.
+func bruteMaxDeficit(chans []Channel, caps []float64) float64 {
+	nC, nH := len(chans), len(caps)
+	best := math.Inf(1)
+	total := 1
+	for h := 0; h < nH; h++ {
+		total *= nC
+	}
+	a := make(Assignment, nH)
+	for code := 0; code < total; code++ {
+		c := code
+		for h := 0; h < nH; h++ {
+			a[h] = c % nC
+			c /= nC
+		}
+		v, err := MaxDeficit(chans, caps, a)
+		if err != nil {
+			panic(err)
+		}
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Property: greedy's max deficit is within the largest helper capacity of
+// the brute-force optimum (the standard LPT-style bound).
+func TestGreedyNearOptimalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		nC := 2 + r.Intn(2)
+		nH := 2 + r.Intn(4)
+		chans := make([]Channel, nC)
+		for c := range chans {
+			chans[c] = Channel{Demand: r.Float64() * 3000}
+		}
+		caps := make([]float64, nH)
+		maxCap := 0.0
+		for h := range caps {
+			caps[h] = 100 + r.Float64()*900
+			if caps[h] > maxCap {
+				maxCap = caps[h]
+			}
+		}
+		a, err := Greedy(chans, caps)
+		if err != nil {
+			return false
+		}
+		got, err := MaxDeficit(chans, caps, a)
+		if err != nil {
+			return false
+		}
+		return got <= bruteMaxDeficit(chans, caps)+maxCap+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProportionalShares(t *testing.T) {
+	chans := []Channel{
+		{Name: "a", Demand: 600},
+		{Name: "b", Demand: 300},
+		{Name: "c", Demand: 100},
+	}
+	counts, err := Proportional(chans, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0]+counts[1]+counts[2] != 10 {
+		t.Fatalf("counts %v do not sum to pool", counts)
+	}
+	if counts[0] != 6 || counts[1] != 3 || counts[2] != 1 {
+		t.Fatalf("counts = %v, want [6 3 1]", counts)
+	}
+}
+
+func TestProportionalCoverage(t *testing.T) {
+	// A tiny channel must still get one helper when the pool allows.
+	chans := []Channel{{Demand: 10000}, {Demand: 1}}
+	counts, err := Proportional(chans, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] < 1 {
+		t.Fatalf("tiny channel starved: %v", counts)
+	}
+	if counts[0]+counts[1] != 4 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestProportionalEdgeCases(t *testing.T) {
+	if _, err := Proportional(nil, 3); err == nil {
+		t.Fatal("no channels accepted")
+	}
+	if _, err := Proportional([]Channel{{Demand: 1}}, -1); err == nil {
+		t.Fatal("negative pool accepted")
+	}
+	counts, err := Proportional([]Channel{{Demand: 5}, {Demand: 5}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 0 || counts[1] != 0 {
+		t.Fatalf("zero pool counts %v", counts)
+	}
+	// Zero total demand spreads evenly.
+	even, err := Proportional([]Channel{{}, {}, {}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even[0]+even[1]+even[2] != 7 || even[0] < 2 {
+		t.Fatalf("even split = %v", even)
+	}
+}
+
+// Property: proportional counts always sum to the pool and are roughly
+// demand-ordered.
+func TestProportionalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		nC := 1 + r.Intn(5)
+		pool := r.Intn(30)
+		chans := make([]Channel, nC)
+		for c := range chans {
+			chans[c] = Channel{Demand: r.Float64() * 1000}
+		}
+		counts, err := Proportional(chans, pool)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == pool
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeficitsValidation(t *testing.T) {
+	chans := []Channel{{Demand: 100}}
+	caps := []float64{50}
+	if _, err := Deficits(chans, caps, Assignment{0, 0}); err == nil {
+		t.Fatal("wrong assignment length accepted")
+	}
+	if _, err := Deficits(chans, caps, Assignment{5}); err == nil {
+		t.Fatal("out-of-range channel accepted")
+	}
+	ds, err := Deficits(chans, caps, Assignment{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[0] != 50 {
+		t.Fatalf("deficit = %v", ds)
+	}
+}

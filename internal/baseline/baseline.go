@@ -1,0 +1,291 @@
+// Package baseline provides the comparison helper-selection policies the
+// evaluation pits RTHS against: uniform random choice, a static assignment,
+// a per-peer ε-greedy bandit, and the myopic best response whose herding
+// oscillation motivates the paper's correlated-equilibrium approach
+// (§III.B). All policies implement core.Selector; the ones that need the
+// global previous-stage view implement core.StageObserver as well.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"rths/internal/core"
+	"rths/internal/xrand"
+)
+
+// Random selects a helper uniformly at random every stage — the
+// "no learning" floor.
+type Random struct {
+	m    int
+	last int
+}
+
+var _ core.Selector = (*Random)(nil)
+var _ core.DynamicSelector = (*Random)(nil)
+
+// NewRandom returns a uniform-random policy over m helpers.
+func NewRandom(m int) (*Random, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: NewRandom(%d)", m)
+	}
+	return &Random{m: m, last: -1}, nil
+}
+
+// Select implements core.Selector.
+func (p *Random) Select(r *xrand.Rand) int {
+	p.last = r.Intn(p.m)
+	return p.last
+}
+
+// Update implements core.Selector (feedback is ignored).
+func (p *Random) Update(action int, utility float64) error {
+	return checkFeedback(action, p.last, utility, p.m)
+}
+
+// NumActions implements core.Selector.
+func (p *Random) NumActions() int { return p.m }
+
+// AddAction implements core.DynamicSelector.
+func (p *Random) AddAction() { p.m++ }
+
+// RemoveAction implements core.DynamicSelector.
+func (p *Random) RemoveAction(k int) {
+	if p.m <= 1 || k < 0 || k >= p.m {
+		panic(fmt.Sprintf("baseline: RemoveAction(%d) with m=%d", k, p.m))
+	}
+	p.m--
+}
+
+// Static always selects a fixed helper (e.g. a round-robin assignment made
+// at join time). It models the fixed user-helper topologies of prior work
+// the paper contrasts with.
+type Static struct {
+	m      int
+	choice int
+}
+
+var _ core.Selector = (*Static)(nil)
+
+// NewStatic pins the policy to the given helper.
+func NewStatic(m, choice int) (*Static, error) {
+	if m <= 0 || choice < 0 || choice >= m {
+		return nil, fmt.Errorf("baseline: NewStatic(m=%d, choice=%d)", m, choice)
+	}
+	return &Static{m: m, choice: choice}, nil
+}
+
+// Select implements core.Selector.
+func (p *Static) Select(*xrand.Rand) int { return p.choice }
+
+// Update implements core.Selector (feedback is ignored).
+func (p *Static) Update(action int, utility float64) error {
+	return checkFeedback(action, p.choice, utility, p.m)
+}
+
+// NumActions implements core.Selector.
+func (p *Static) NumActions() int { return p.m }
+
+// EpsilonGreedy is a standard stochastic-bandit baseline: exponentially
+// weighted per-arm utility estimates, greedy selection with ε exploration.
+// It uses exactly the same information as RTHS (own feedback only) but no
+// regret structure, isolating the value of the regret-tracking machinery.
+type EpsilonGreedy struct {
+	m        int
+	epsilon  float64
+	stepSize float64
+	est      []float64
+	seen     []bool
+	last     int
+}
+
+var _ core.Selector = (*EpsilonGreedy)(nil)
+
+// NewEpsilonGreedy builds the policy: epsilon ∈ (0,1) exploration rate,
+// stepSize ∈ (0,1] EWMA constant.
+func NewEpsilonGreedy(m int, epsilon, stepSize float64) (*EpsilonGreedy, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: NewEpsilonGreedy(%d)", m)
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, fmt.Errorf("baseline: epsilon=%g outside (0,1)", epsilon)
+	}
+	if stepSize <= 0 || stepSize > 1 {
+		return nil, fmt.Errorf("baseline: stepSize=%g outside (0,1]", stepSize)
+	}
+	return &EpsilonGreedy{
+		m: m, epsilon: epsilon, stepSize: stepSize,
+		est: make([]float64, m), seen: make([]bool, m), last: -1,
+	}, nil
+}
+
+// Select implements core.Selector.
+func (p *EpsilonGreedy) Select(r *xrand.Rand) int {
+	if r.Float64() < p.epsilon {
+		p.last = r.Intn(p.m)
+		return p.last
+	}
+	best, bestV := -1, math.Inf(-1)
+	for a := 0; a < p.m; a++ {
+		v := p.est[a]
+		if !p.seen[a] {
+			v = math.Inf(1) // optimistic initialization: try everything once
+		}
+		if v > bestV {
+			best, bestV = a, v
+		}
+	}
+	p.last = best
+	return best
+}
+
+// Update implements core.Selector.
+func (p *EpsilonGreedy) Update(action int, utility float64) error {
+	if err := checkFeedback(action, p.last, utility, p.m); err != nil {
+		return err
+	}
+	if !p.seen[action] {
+		p.seen[action] = true
+		p.est[action] = utility
+	} else {
+		p.est[action] += p.stepSize * (utility - p.est[action])
+	}
+	p.last = -1
+	return nil
+}
+
+// NumActions implements core.Selector.
+func (p *EpsilonGreedy) NumActions() int { return p.m }
+
+// BestResponse is the myopic strategy of the paper's §III.B motivating
+// example: every stage, pick the helper that would have been best against
+// the previous stage's observed loads, u(k) = C_k/(n_k+1) (or C_j/n_j for
+// the incumbent). Because every peer sees the same stale snapshot, they
+// herd onto the same helper and oscillate — the instability correlated
+// equilibria avoid.
+type BestResponse struct {
+	m        int
+	lastRes  core.StageResult
+	havePrev bool
+	current  int
+	last     int
+}
+
+var (
+	_ core.Selector      = (*BestResponse)(nil)
+	_ core.StageObserver = (*BestResponse)(nil)
+)
+
+// NewBestResponse builds the myopic policy over m helpers.
+func NewBestResponse(m int) (*BestResponse, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: NewBestResponse(%d)", m)
+	}
+	return &BestResponse{m: m, current: -1, last: -1}, nil
+}
+
+// Select implements core.Selector.
+func (p *BestResponse) Select(r *xrand.Rand) int {
+	if !p.havePrev {
+		p.current = r.Intn(p.m)
+		p.last = p.current
+		return p.current
+	}
+	best, bestV := 0, math.Inf(-1)
+	for k := 0; k < p.m; k++ {
+		var v float64
+		if k == p.current {
+			v = p.lastRes.Capacities[k] / math.Max(1, float64(p.lastRes.Loads[k]))
+		} else {
+			v = p.lastRes.Capacities[k] / float64(p.lastRes.Loads[k]+1)
+		}
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	p.current = best
+	p.last = best
+	return best
+}
+
+// Update implements core.Selector (the policy learns from ObserveStage).
+func (p *BestResponse) Update(action int, utility float64) error {
+	return checkFeedback(action, p.last, utility, p.m)
+}
+
+// NumActions implements core.Selector.
+func (p *BestResponse) NumActions() int { return p.m }
+
+// ObserveStage implements core.StageObserver.
+func (p *BestResponse) ObserveStage(res core.StageResult) {
+	p.lastRes = res.Clone()
+	p.havePrev = true
+}
+
+// LeastLoaded joins the helper that had the fewest peers last stage, ties
+// broken by higher capacity — a simple load-balancing heuristic that needs
+// global state (it models a lightweight tracker-driven assignment).
+type LeastLoaded struct {
+	m        int
+	lastRes  core.StageResult
+	havePrev bool
+	last     int
+}
+
+var (
+	_ core.Selector      = (*LeastLoaded)(nil)
+	_ core.StageObserver = (*LeastLoaded)(nil)
+)
+
+// NewLeastLoaded builds the policy over m helpers.
+func NewLeastLoaded(m int) (*LeastLoaded, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: NewLeastLoaded(%d)", m)
+	}
+	return &LeastLoaded{m: m, last: -1}, nil
+}
+
+// Select implements core.Selector.
+func (p *LeastLoaded) Select(r *xrand.Rand) int {
+	if !p.havePrev {
+		p.last = r.Intn(p.m)
+		return p.last
+	}
+	best := 0
+	for k := 1; k < p.m; k++ {
+		if p.lastRes.Loads[k] < p.lastRes.Loads[best] ||
+			(p.lastRes.Loads[k] == p.lastRes.Loads[best] &&
+				p.lastRes.Capacities[k] > p.lastRes.Capacities[best]) {
+			best = k
+		}
+	}
+	p.last = best
+	return best
+}
+
+// Update implements core.Selector (feedback ignored; learns from stage view).
+func (p *LeastLoaded) Update(action int, utility float64) error {
+	return checkFeedback(action, p.last, utility, p.m)
+}
+
+// NumActions implements core.Selector.
+func (p *LeastLoaded) NumActions() int { return p.m }
+
+// ObserveStage implements core.StageObserver.
+func (p *LeastLoaded) ObserveStage(res core.StageResult) {
+	p.lastRes = res.Clone()
+	p.havePrev = true
+}
+
+func checkFeedback(action, expected int, utility float64, m int) error {
+	if action != expected {
+		return fmt.Errorf("baseline: Update(action=%d) does not match selected %d", action, expected)
+	}
+	if action < 0 || action >= m {
+		return fmt.Errorf("baseline: action %d out of range [0,%d)", action, m)
+	}
+	if utility < 0 || math.IsNaN(utility) || math.IsInf(utility, 0) {
+		return fmt.Errorf("baseline: utility %g invalid", utility)
+	}
+	return nil
+}

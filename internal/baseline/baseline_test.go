@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"testing"
+
+	"rths/internal/core"
+	"rths/internal/xrand"
+)
+
+func TestRandomUniform(t *testing.T) {
+	p, err := NewRandom(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		a := p.Select(r)
+		counts[a]++
+		if err := p.Update(a, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("action %d count %d, want ~10000", a, c)
+		}
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	if _, err := NewRandom(0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	p, err := NewRandom(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	a := p.Select(r)
+	if err := p.Update(1-a, 0.5); err == nil {
+		t.Fatal("mismatched action accepted")
+	}
+	if err := p.Update(a, -1); err == nil {
+		t.Fatal("negative utility accepted")
+	}
+}
+
+func TestRandomDynamic(t *testing.T) {
+	p, err := NewRandom(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddAction()
+	if p.NumActions() != 3 {
+		t.Fatalf("NumActions = %d", p.NumActions())
+	}
+	p.RemoveAction(0)
+	if p.NumActions() != 2 {
+		t.Fatalf("NumActions = %d", p.NumActions())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad RemoveAction")
+		}
+	}()
+	p.RemoveAction(9)
+}
+
+func TestStatic(t *testing.T) {
+	if _, err := NewStatic(3, 5); err == nil {
+		t.Fatal("out-of-range choice accepted")
+	}
+	p, err := NewStatic(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	for i := 0; i < 10; i++ {
+		if a := p.Select(r); a != 2 {
+			t.Fatalf("Select = %d", a)
+		}
+		if err := p.Update(2, 0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.NumActions() != 3 {
+		t.Fatalf("NumActions = %d", p.NumActions())
+	}
+}
+
+func TestEpsilonGreedyFindsBestArm(t *testing.T) {
+	p, err := NewEpsilonGreedy(3, 0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(5)
+	utils := []float64{0.2, 0.9, 0.5}
+	hits := 0
+	const stages = 2000
+	for s := 0; s < stages; s++ {
+		a := p.Select(r)
+		if err := p.Update(a, utils[a]); err != nil {
+			t.Fatal(err)
+		}
+		if s > stages/2 && a == 1 {
+			hits++
+		}
+	}
+	if frac := float64(hits) / float64(stages/2); frac < 0.8 {
+		t.Fatalf("best-arm frequency = %g", frac)
+	}
+}
+
+func TestEpsilonGreedyValidation(t *testing.T) {
+	if _, err := NewEpsilonGreedy(0, 0.1, 0.1); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewEpsilonGreedy(2, 0, 0.1); err == nil {
+		t.Fatal("epsilon=0 accepted")
+	}
+	if _, err := NewEpsilonGreedy(2, 0.1, 0); err == nil {
+		t.Fatal("stepSize=0 accepted")
+	}
+	if _, err := NewEpsilonGreedy(2, 0.1, 1.5); err == nil {
+		t.Fatal("stepSize>1 accepted")
+	}
+}
+
+func TestEpsilonGreedyTriesAllArmsFirst(t *testing.T) {
+	p, err := NewEpsilonGreedy(4, 0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(9)
+	seen := make(map[int]bool)
+	// With optimistic initialization every arm is tried in the first few
+	// greedy picks (modulo the tiny exploration噪 probability).
+	for s := 0; s < 20; s++ {
+		a := p.Select(r)
+		seen[a] = true
+		if err := p.Update(a, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d arms tried in warmup", len(seen))
+	}
+}
+
+func TestBestResponseHerds(t *testing.T) {
+	// All peers sharing the same stale view must herd onto the same helper
+	// once a view exists — the §III.B oscillation ingredient.
+	p1, err := NewBestResponse(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewBestResponse(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.StageResult{
+		Loads:      []int{5, 1, 3},
+		Capacities: []float64{800, 900, 700},
+	}
+	p1.ObserveStage(res)
+	p2.ObserveStage(res)
+	r := xrand.New(1)
+	a1, a2 := p1.Select(r), p2.Select(r)
+	if a1 != a2 {
+		t.Fatalf("peers with identical views chose %d and %d", a1, a2)
+	}
+	if a1 != 1 {
+		t.Fatalf("best response chose %d, want 1 (900/(1+1) beats alternatives)", a1)
+	}
+}
+
+func TestBestResponseValidation(t *testing.T) {
+	if _, err := NewBestResponse(0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+func TestLeastLoadedPicksLightest(t *testing.T) {
+	p, err := NewLeastLoaded(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ObserveStage(core.StageResult{
+		Loads:      []int{4, 2, 2},
+		Capacities: []float64{800, 700, 900},
+	})
+	r := xrand.New(1)
+	if a := p.Select(r); a != 2 {
+		t.Fatalf("Select = %d, want 2 (tie on load, higher capacity)", a)
+	}
+	if err := p.Update(2, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLeastLoaded(0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}

@@ -1,0 +1,501 @@
+// Package core implements the paper's helper-selection system: N peers
+// repeatedly choose among H helpers whose upload bandwidth follows
+// independent, slowly switching Markov chains. Each stage every peer picks
+// a helper, the helper's current capacity is split evenly among its
+// attached peers (u_i = C_j / load_j, §III.A), and each peer feeds only its
+// own realized rate back into its selection policy — the bandit feedback
+// setting the RTHS/R2HS learners are built for.
+//
+// The selection policy is pluggable (Selector); internal/regret provides
+// the paper's learners and internal/baseline the comparison policies. The
+// per-stage StageResult exposes the global view (loads, capacities, rates)
+// that the evaluation harness uses for clairvoyant regret audits, welfare
+// and fairness metrics — the policies themselves never see it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rths/internal/markov"
+	"rths/internal/regret"
+	"rths/internal/xrand"
+)
+
+// DefaultLevels are the paper's helper bandwidth levels in kbps (§IV).
+var DefaultLevels = []float64{700, 800, 900}
+
+// DefaultSwitchProb makes the bandwidth process "slowly changing": the
+// expected dwell time in a level is 1/DefaultSwitchProb = 50 stages.
+const DefaultSwitchProb = 0.02
+
+// Selector is one peer's helper-selection policy. Implementations see only
+// their own actions and utilities (normalized to [0,1] by the system), per
+// the paper's zero-knowledge setting. regret.Learner satisfies Selector.
+type Selector interface {
+	// Select samples the helper to use this stage.
+	Select(r *xrand.Rand) int
+	// Update feeds back the realized normalized utility of the played action.
+	Update(action int, utility float64) error
+	// NumActions returns the selector's current action-set size.
+	NumActions() int
+}
+
+// DynamicSelector additionally supports helper churn.
+type DynamicSelector interface {
+	Selector
+	// AddAction grows the action set by one (new helper at the last index).
+	AddAction()
+	// RemoveAction removes action k and shifts later indices down.
+	RemoveAction(k int)
+}
+
+// StageObserver is implemented by policies that additionally watch the
+// global stage outcome (previous-stage loads and capacities). The paper's
+// RTHS learners never need this; it exists so the comparison baselines —
+// notably myopic best response, whose oscillation motivates the paper's CE
+// approach (§III.B) — can be expressed as Selectors too.
+type StageObserver interface {
+	ObserveStage(res StageResult)
+}
+
+// Interface checks: the regret learners must remain usable as selectors.
+var (
+	_ Selector        = (*regret.Learner)(nil)
+	_ DynamicSelector = (*regret.Learner)(nil)
+	_ Selector        = (*regret.Reference)(nil)
+)
+
+// HelperSpec describes one helper's bandwidth process.
+type HelperSpec struct {
+	// Levels are the bandwidth values (kbps) of the Markov states, in
+	// state-index order. Must be non-empty and positive.
+	Levels []float64
+	// SwitchProb is the per-stage probability of leaving the current level
+	// (uniformly to another). Zero selects DefaultSwitchProb.
+	SwitchProb float64
+	// InitState is the starting state index; -1 draws from the stationary
+	// distribution (uniform for the sticky chain).
+	InitState int
+}
+
+// DefaultHelperSpec is the paper's [700,800,900] slowly-switching helper.
+func DefaultHelperSpec() HelperSpec {
+	levels := make([]float64, len(DefaultLevels))
+	copy(levels, DefaultLevels)
+	return HelperSpec{Levels: levels, SwitchProb: DefaultSwitchProb, InitState: -1}
+}
+
+// SelectorFactory builds the selection policy for peer i given the number
+// of helpers. utilityScale is the value the system divides rates by before
+// handing them to Update (the maximum helper level), so factories can size
+// learner constants for normalized utilities.
+type SelectorFactory func(peer, numHelpers int, utilityScale float64) (Selector, error)
+
+// RTHSFactory returns the paper's R2HS tracking learner with experiment
+// defaults (utilities normalized, so scale 1).
+func RTHSFactory() SelectorFactory {
+	return func(_, numHelpers int, _ float64) (Selector, error) {
+		return regret.New(regret.Defaults(numHelpers, 1))
+	}
+}
+
+// LearnerFactory returns a factory producing regret learners from a base
+// config; NumActions is overridden per system.
+func LearnerFactory(base regret.Config) SelectorFactory {
+	return func(_, numHelpers int, _ float64) (Selector, error) {
+		cfg := base
+		cfg.NumActions = numHelpers
+		return regret.New(cfg)
+	}
+}
+
+// Config assembles a system.
+type Config struct {
+	// NumPeers is the number of competing peers (players) at start, >= 0
+	// (channels may start empty and fill through churn).
+	NumPeers int
+	// Helpers describes each helper's bandwidth process; len >= 1.
+	Helpers []HelperSpec
+	// Factory builds each peer's policy. Nil selects RTHSFactory.
+	Factory SelectorFactory
+	// Seed drives all randomness in the system.
+	Seed uint64
+	// DemandPerPeer is each peer's streaming demand in kbps, used by the
+	// server-load accounting (Fig 5). Zero disables demand tracking.
+	DemandPerPeer float64
+}
+
+type helper struct {
+	levels []float64
+	proc   *markov.Process
+}
+
+func (h *helper) capacity() float64 { return h.levels[h.proc.State()] }
+
+type peer struct {
+	sel    Selector
+	demand float64
+}
+
+// System is a running helper-selection simulation.
+type System struct {
+	rng     *xrand.Rand
+	helpers []*helper
+	peers   []*peer
+	scale   float64 // max level across helpers; normalizes utilities
+	stage   int
+
+	// reusable buffers
+	actions []int
+	loads   []int
+}
+
+// StageResult is the global view of one completed stage.
+type StageResult struct {
+	// Stage is the 0-based index of the completed stage.
+	Stage int
+	// Actions[i] is the helper chosen by peer i.
+	Actions []int
+	// Loads[j] is the number of peers attached to helper j.
+	Loads []int
+	// Capacities[j] is helper j's bandwidth this stage (kbps).
+	Capacities []float64
+	// Rates[i] is peer i's received streaming rate C_j/load_j (kbps).
+	Rates []float64
+	// Welfare is the social welfare Σ_i Rates[i] = Σ_{occupied j} C_j.
+	Welfare float64
+	// OptWelfare is the stage optimum: the sum of the min(N,H) largest
+	// capacities (all of them when N >= H).
+	OptWelfare float64
+	// ServerLoad is Σ_i max(0, demand_i - rate_i): the surplus requests the
+	// streaming server must absorb (0 when demand tracking is off).
+	ServerLoad float64
+	// MinDeficit is the paper's "minimum bandwidth deficit": the server
+	// load that would remain if every helper's bandwidth were fully
+	// utilized, max(0, Σ demand - Σ capacities).
+	MinDeficit float64
+}
+
+// Clone deep-copies the result so observers may retain it across stages.
+func (sr StageResult) Clone() StageResult {
+	cp := sr
+	cp.Actions = append([]int(nil), sr.Actions...)
+	cp.Loads = append([]int(nil), sr.Loads...)
+	cp.Capacities = append([]float64(nil), sr.Capacities...)
+	cp.Rates = append([]float64(nil), sr.Rates...)
+	return cp
+}
+
+// New builds a system from the config.
+func New(cfg Config) (*System, error) {
+	if cfg.NumPeers < 0 {
+		return nil, fmt.Errorf("core: NumPeers=%d", cfg.NumPeers)
+	}
+	if len(cfg.Helpers) == 0 {
+		return nil, errors.New("core: no helpers configured")
+	}
+	if cfg.DemandPerPeer < 0 {
+		return nil, fmt.Errorf("core: DemandPerPeer=%g", cfg.DemandPerPeer)
+	}
+	factory := cfg.Factory
+	if factory == nil {
+		factory = RTHSFactory()
+	}
+	rng := xrand.New(cfg.Seed)
+	s := &System{rng: rng}
+
+	scale := 0.0
+	for j, spec := range cfg.Helpers {
+		h, err := newHelper(spec, rng.Split())
+		if err != nil {
+			return nil, fmt.Errorf("core: helper %d: %w", j, err)
+		}
+		s.helpers = append(s.helpers, h)
+		for _, lv := range spec.Levels {
+			if lv > scale {
+				scale = lv
+			}
+		}
+	}
+	s.scale = scale
+
+	for i := 0; i < cfg.NumPeers; i++ {
+		sel, err := factory(i, len(cfg.Helpers), scale)
+		if err != nil {
+			return nil, fmt.Errorf("core: selector for peer %d: %w", i, err)
+		}
+		if sel.NumActions() != len(cfg.Helpers) {
+			return nil, fmt.Errorf("core: selector for peer %d has %d actions, want %d",
+				i, sel.NumActions(), len(cfg.Helpers))
+		}
+		s.peers = append(s.peers, &peer{sel: sel, demand: cfg.DemandPerPeer})
+	}
+	s.actions = make([]int, len(s.peers))
+	s.loads = make([]int, len(s.helpers))
+	return s, nil
+}
+
+func newHelper(spec HelperSpec, rng *xrand.Rand) (*helper, error) {
+	if len(spec.Levels) == 0 {
+		return nil, errors.New("no bandwidth levels")
+	}
+	for _, lv := range spec.Levels {
+		if lv <= 0 {
+			return nil, fmt.Errorf("non-positive level %g", lv)
+		}
+	}
+	sp := spec.SwitchProb
+	if sp == 0 {
+		sp = DefaultSwitchProb
+	}
+	var chain *markov.Chain
+	var err error
+	if len(spec.Levels) == 1 {
+		chain, err = markov.Sticky(1, 0.5)
+	} else {
+		chain, err = markov.Sticky(len(spec.Levels), sp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	init := spec.InitState
+	if init < 0 {
+		init = rng.Intn(len(spec.Levels))
+	}
+	if init >= len(spec.Levels) {
+		return nil, fmt.Errorf("init state %d out of range", init)
+	}
+	levels := append([]float64(nil), spec.Levels...)
+	return &helper{levels: levels, proc: chain.Start(rng, init)}, nil
+}
+
+// NumPeers returns the current number of peers.
+func (s *System) NumPeers() int { return len(s.peers) }
+
+// NumHelpers returns the current number of helpers.
+func (s *System) NumHelpers() int { return len(s.helpers) }
+
+// Stage returns the number of completed stages.
+func (s *System) Stage() int { return s.stage }
+
+// UtilityScale returns the normalization constant (max helper level).
+func (s *System) UtilityScale() float64 { return s.scale }
+
+// Capacities returns the helpers' current bandwidths.
+func (s *System) Capacities() []float64 {
+	caps := make([]float64, len(s.helpers))
+	for j, h := range s.helpers {
+		caps[j] = h.capacity()
+	}
+	return caps
+}
+
+// Selector exposes peer i's policy (for inspection in tests and tools).
+func (s *System) Selector(i int) Selector { return s.peers[i].sel }
+
+// Step advances the system one stage: bandwidth chains move, every peer
+// selects a helper, rates are realized and fed back. The returned result
+// reuses internal buffers; call Clone to retain it.
+func (s *System) Step() (StageResult, error) {
+	// 1. Environment moves (exogenous, independent of play).
+	for _, h := range s.helpers {
+		h.proc.Step()
+	}
+	// 2. Simultaneous selection.
+	for j := range s.loads {
+		s.loads[j] = 0
+	}
+	for i, p := range s.peers {
+		a := p.sel.Select(s.rng)
+		if a < 0 || a >= len(s.helpers) {
+			return StageResult{}, fmt.Errorf("core: peer %d selected invalid helper %d", i, a)
+		}
+		s.actions[i] = a
+		s.loads[a]++
+	}
+	// 3. Realized rates and bandit feedback.
+	caps := s.Capacities()
+	rates := make([]float64, len(s.peers))
+	welfare := 0.0
+	serverLoad := 0.0
+	demandSum := 0.0
+	for i, p := range s.peers {
+		j := s.actions[i]
+		rates[i] = caps[j] / float64(s.loads[j])
+		welfare += rates[i]
+		if p.demand > 0 {
+			demandSum += p.demand
+			if short := p.demand - rates[i]; short > 0 {
+				serverLoad += short
+			}
+		}
+		if err := p.sel.Update(s.actions[i], rates[i]/s.scale); err != nil {
+			return StageResult{}, fmt.Errorf("core: peer %d feedback: %w", i, err)
+		}
+	}
+	capSum := 0.0
+	for _, c := range caps {
+		capSum += c
+	}
+	minDeficit := demandSum - capSum
+	if minDeficit < 0 {
+		minDeficit = 0
+	}
+	res := StageResult{
+		Stage:      s.stage,
+		Actions:    s.actions,
+		Loads:      s.loads,
+		Capacities: caps,
+		Rates:      rates,
+		Welfare:    welfare,
+		OptWelfare: optWelfare(caps, len(s.peers)),
+		ServerLoad: serverLoad,
+		MinDeficit: minDeficit,
+	}
+	for _, p := range s.peers {
+		if obs, ok := p.sel.(StageObserver); ok {
+			obs.ObserveStage(res)
+		}
+	}
+	s.stage++
+	return res, nil
+}
+
+// optWelfare is the stage-optimal social welfare: the sum of the min(N,H)
+// largest capacities.
+func optWelfare(caps []float64, numPeers int) float64 {
+	if numPeers >= len(caps) {
+		sum := 0.0
+		for _, c := range caps {
+			sum += c
+		}
+		return sum
+	}
+	sorted := append([]float64(nil), caps...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	sum := 0.0
+	for _, c := range sorted[:numPeers] {
+		sum += c
+	}
+	return sum
+}
+
+// Run advances the system `stages` stages, invoking observe (if non-nil)
+// after each. The observed result reuses buffers; Clone to retain.
+func (s *System) Run(stages int, observe func(StageResult)) error {
+	for k := 0; k < stages; k++ {
+		res, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if observe != nil {
+			observe(res)
+		}
+	}
+	return nil
+}
+
+// AddPeer joins a new peer mid-run using the given selector (nil builds the
+// default RTHS learner). Returns the new peer's index.
+func (s *System) AddPeer(sel Selector, demand float64) (int, error) {
+	if sel == nil {
+		var err error
+		sel, err = regret.New(regret.Defaults(len(s.helpers), 1))
+		if err != nil {
+			return 0, err
+		}
+	}
+	if sel.NumActions() != len(s.helpers) {
+		return 0, fmt.Errorf("core: AddPeer selector has %d actions, want %d",
+			sel.NumActions(), len(s.helpers))
+	}
+	if demand < 0 {
+		return 0, fmt.Errorf("core: AddPeer demand %g", demand)
+	}
+	s.peers = append(s.peers, &peer{sel: sel, demand: demand})
+	s.actions = append(s.actions, 0)
+	return len(s.peers) - 1, nil
+}
+
+// RemovePeer removes peer i (departure churn). Later peers shift down.
+func (s *System) RemovePeer(i int) error {
+	if i < 0 || i >= len(s.peers) {
+		return fmt.Errorf("core: RemovePeer(%d) with %d peers", i, len(s.peers))
+	}
+	s.peers = append(s.peers[:i], s.peers[i+1:]...)
+	s.actions = s.actions[:len(s.peers)]
+	return nil
+}
+
+// SetHelperLevels replaces helper j's bandwidth levels mid-run (a capacity
+// regime change — the non-stationarity regret tracking is built for). The
+// helper restarts its level chain with the same switching behaviour; levels
+// must stay within the system's utility scale so past feedback keeps its
+// normalization.
+func (s *System) SetHelperLevels(j int, levels []float64, switchProb float64) error {
+	if j < 0 || j >= len(s.helpers) {
+		return fmt.Errorf("core: SetHelperLevels(%d) with %d helpers", j, len(s.helpers))
+	}
+	for _, lv := range levels {
+		if lv > s.scale {
+			return fmt.Errorf("core: SetHelperLevels level %g exceeds utility scale %g", lv, s.scale)
+		}
+	}
+	h, err := newHelper(HelperSpec{Levels: levels, SwitchProb: switchProb, InitState: -1}, s.rng.Split())
+	if err != nil {
+		return fmt.Errorf("core: SetHelperLevels: %w", err)
+	}
+	s.helpers[j] = h
+	return nil
+}
+
+// AddHelper joins a new helper mid-run. Every peer's policy must support
+// dynamic action sets.
+func (s *System) AddHelper(spec HelperSpec) error {
+	for i, p := range s.peers {
+		if _, ok := p.sel.(DynamicSelector); !ok {
+			return fmt.Errorf("core: peer %d policy %T does not support helper churn", i, p.sel)
+		}
+	}
+	h, err := newHelper(spec, s.rng.Split())
+	if err != nil {
+		return fmt.Errorf("core: AddHelper: %w", err)
+	}
+	for _, lv := range h.levels {
+		if lv > s.scale {
+			// Keep normalization stable: warn-by-error rather than silently
+			// rescaling past feedback.
+			return fmt.Errorf("core: AddHelper level %g exceeds utility scale %g", lv, s.scale)
+		}
+	}
+	s.helpers = append(s.helpers, h)
+	s.loads = append(s.loads, 0)
+	for _, p := range s.peers {
+		p.sel.(DynamicSelector).AddAction()
+	}
+	return nil
+}
+
+// RemoveHelper removes helper j (crash / departure). Every peer's policy
+// must support dynamic action sets; indices above j shift down.
+func (s *System) RemoveHelper(j int) error {
+	if j < 0 || j >= len(s.helpers) {
+		return fmt.Errorf("core: RemoveHelper(%d) with %d helpers", j, len(s.helpers))
+	}
+	if len(s.helpers) == 1 {
+		return errors.New("core: RemoveHelper would leave no helpers")
+	}
+	for i, p := range s.peers {
+		if _, ok := p.sel.(DynamicSelector); !ok {
+			return fmt.Errorf("core: peer %d policy %T does not support helper churn", i, p.sel)
+		}
+	}
+	s.helpers = append(s.helpers[:j], s.helpers[j+1:]...)
+	s.loads = s.loads[:len(s.helpers)]
+	for _, p := range s.peers {
+		p.sel.(DynamicSelector).RemoveAction(j)
+	}
+	return nil
+}

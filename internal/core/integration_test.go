@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"testing"
+
+	"rths/internal/baseline"
+	"rths/internal/core"
+)
+
+func extConfig(n, h int, seed uint64) core.Config {
+	helpers := make([]core.HelperSpec, h)
+	for j := range helpers {
+		helpers[j] = core.DefaultHelperSpec()
+	}
+	return core.Config{NumPeers: n, Helpers: helpers, Seed: seed}
+}
+
+// RTHS must beat myopic best response on load stability — the §III.B story.
+func TestRTHSBeatsBestResponseOscillation(t *testing.T) {
+	const (
+		n, h   = 10, 4
+		stages = 2000
+	)
+	run := func(factory core.SelectorFactory, seed uint64) (switchRate float64) {
+		cfg := extConfig(n, h, seed)
+		cfg.Factory = factory
+		s, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := make([]int, n)
+		switches := 0
+		total := 0
+		err = s.Run(stages, func(r core.StageResult) {
+			if r.Stage >= stages/2 {
+				for i, a := range r.Actions {
+					if a != prev[i] {
+						switches++
+					}
+					total++
+				}
+			}
+			copy(prev, r.Actions)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(switches) / float64(total)
+	}
+	brFactory := func(_, numHelpers int, _ float64) (core.Selector, error) {
+		return baseline.NewBestResponse(numHelpers)
+	}
+	rths := run(nil, 99)
+	br := run(brFactory, 99)
+	if rths > 0.35 {
+		t.Fatalf("RTHS switch rate = %g, want settled (<= 0.35)", rths)
+	}
+	if br < rths+0.2 {
+		t.Fatalf("best response switch rate %g should exceed RTHS %g by >= 0.2", br, rths)
+	}
+}
+
+func TestSystemWithAllBaselines(t *testing.T) {
+	factories := map[string]core.SelectorFactory{
+		"random": func(_, m int, _ float64) (core.Selector, error) { return baseline.NewRandom(m) },
+		"static": func(i, m int, _ float64) (core.Selector, error) { return baseline.NewStatic(m, i%m) },
+		"egreedy": func(_, m int, _ float64) (core.Selector, error) {
+			return baseline.NewEpsilonGreedy(m, 0.1, 0.1)
+		},
+		"bestresponse": func(_, m int, _ float64) (core.Selector, error) { return baseline.NewBestResponse(m) },
+		"leastloaded":  func(_, m int, _ float64) (core.Selector, error) { return baseline.NewLeastLoaded(m) },
+	}
+	for name, f := range factories {
+		t.Run(name, func(t *testing.T) {
+			cfg := extConfig(8, 3, 11)
+			cfg.Factory = f
+			s, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(300, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHelperChurnRequiresDynamicSelectors(t *testing.T) {
+	cfg := extConfig(2, 2, 3)
+	cfg.Factory = func(_, numHelpers int, _ float64) (core.Selector, error) {
+		return baseline.NewStatic(numHelpers, 0)
+	}
+	s, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddHelper(core.DefaultHelperSpec()); err == nil {
+		t.Fatal("AddHelper with static selectors accepted")
+	}
+	if err := s.RemoveHelper(0); err == nil {
+		t.Fatal("RemoveHelper with static selectors accepted")
+	}
+}

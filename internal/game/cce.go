@@ -1,0 +1,56 @@
+package game
+
+import "math"
+
+// CCEViolation returns the maximum coarse-correlated-equilibrium violation
+// of the distribution: the largest gain any player could get by committing
+// to a single fixed action *before* seeing any recommendation,
+// max_i max_k Σ_a z(a)·(u_i(k, a_-i) − u_i(a)).
+//
+// Every CE is a CCE: if all conditional (CE) gains are non-positive, the
+// constant-rule (CCE) gains — which sum the conditional gains over the
+// recommended action — are non-positive too. Quantitatively the sum can
+// exceed any single term, so the sharp relation is CCEViolation <= 0
+// whenever CEViolation <= 0, and CCEViolation <= m·max(CEViolation, 0) in
+// general; the property tests check exactly that.
+func CCEViolation(g Game, d *JointDist) float64 {
+	if d.Total() == 0 {
+		return 0
+	}
+	n := g.NumPlayers()
+	// gains[i][k] = Σ_a z(a)·(u_i(k, a_-i) − u_i(a)).
+	gains := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		gains[i] = make([]float64, g.NumActions(i))
+	}
+	alt := make([]int, n)
+	d.Each(func(profile []int, prob float64) {
+		copy(alt, profile)
+		for i := 0; i < n; i++ {
+			base := g.Utility(i, profile)
+			for k := 0; k < g.NumActions(i); k++ {
+				if k == profile[i] {
+					continue
+				}
+				alt[i] = k
+				gains[i][k] += prob * (g.Utility(i, alt) - base)
+			}
+			alt[i] = profile[i]
+		}
+	})
+	worst := math.Inf(-1)
+	for i := range gains {
+		for _, gk := range gains[i] {
+			if gk > worst {
+				worst = gk
+			}
+		}
+	}
+	return worst
+}
+
+// IsEpsilonCCE reports whether the distribution is an ε-coarse-correlated
+// equilibrium.
+func IsEpsilonCCE(g Game, d *JointDist, epsilon float64) bool {
+	return CCEViolation(g, d) <= epsilon
+}

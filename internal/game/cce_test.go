@@ -1,0 +1,71 @@
+package game
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rths/internal/xrand"
+)
+
+func TestCCEUniformMatchingPennies(t *testing.T) {
+	d := NewJointDist(2)
+	for a0 := 0; a0 < 2; a0++ {
+		for a1 := 0; a1 < 2; a1++ {
+			d.Observe([]int{a0, a1}, 1)
+		}
+	}
+	if v := CCEViolation(matchingPennies{}, d); v > 1e-12 {
+		t.Fatalf("uniform MP CCE violation = %g", v)
+	}
+	if !IsEpsilonCCE(matchingPennies{}, d, 0) {
+		t.Fatal("uniform MP rejected as CCE")
+	}
+}
+
+func TestCCEDetectsBadDistribution(t *testing.T) {
+	d := NewJointDist(2)
+	d.Observe([]int{0, 0}, 1)
+	if v := CCEViolation(matchingPennies{}, d); v < 2-1e-12 {
+		t.Fatalf("point-mass CCE violation = %g, want 2", v)
+	}
+}
+
+func TestCCEEmpty(t *testing.T) {
+	if v := CCEViolation(matchingPennies{}, NewJointDist(2)); v != 0 {
+		t.Fatalf("empty CCE violation = %g", v)
+	}
+}
+
+// Property: the CCE violation is controlled by the CE violation — zero CE
+// violation forces zero CCE violation, and in general the constant-rule
+// gain is at most the action count times the worst conditional gain.
+func TestCCEBoundedByCEProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		caps := make([]float64, 2+r.Intn(2))
+		for j := range caps {
+			caps[j] = 100 + r.Float64()*900
+		}
+		g, err := NewHelperGame(2+r.Intn(3), caps)
+		if err != nil {
+			return false
+		}
+		d := NewJointDist(g.NumPlayers())
+		profile := make([]int, g.NumPlayers())
+		for s := 0; s < 30; s++ {
+			for i := range profile {
+				profile[i] = r.Intn(g.NumHelpers())
+			}
+			d.Observe(profile, 1)
+		}
+		ce := CEViolation(g, d)
+		cce := CCEViolation(g, d)
+		if ce <= 0 {
+			return cce <= 1e-9
+		}
+		return cce <= float64(g.NumHelpers())*ce+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

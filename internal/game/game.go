@@ -1,0 +1,263 @@
+// Package game provides the game-theoretic core of the reproduction:
+// finite normal-form games, mixed strategies, joint (possibly correlated)
+// distributions of play, and the equilibrium predicates the paper relies on
+// — Nash equilibrium and, centrally, correlated equilibrium (eq. 3-1).
+//
+// The helper-selection game itself (utility C_j / load_j) is provided as
+// HelperGame, a player-symmetric congestion game with an exact Rosenthal
+// potential; the potential both proves existence of a pure NE (paper §III.B)
+// and gives the tests an invariant to check best-response dynamics against.
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// Game is a finite normal-form game. Players and actions are indexed from 0.
+// Implementations must be safe for concurrent reads.
+type Game interface {
+	// NumPlayers returns the number of players.
+	NumPlayers() int
+	// NumActions returns the size of player i's action set.
+	NumActions(player int) int
+	// Utility returns player's payoff under the joint action profile.
+	// The profile has one action per player.
+	Utility(player int, profile []int) float64
+}
+
+// Mixed is a probability distribution over one player's actions.
+type Mixed []float64
+
+// Validate checks that m is a probability vector within tolerance.
+func (m Mixed) Validate() error {
+	sum := 0.0
+	for i, p := range m {
+		if p < -1e-12 || math.IsNaN(p) {
+			return fmt.Errorf("game: mixed strategy has invalid mass %g at action %d", p, i)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("game: mixed strategy sums to %g", sum)
+	}
+	return nil
+}
+
+// Uniform returns the uniform distribution over n actions.
+func Uniform(n int) Mixed {
+	m := make(Mixed, n)
+	for i := range m {
+		m[i] = 1 / float64(n)
+	}
+	return m
+}
+
+// Entropy returns the Shannon entropy of m in nats.
+func (m Mixed) Entropy() float64 {
+	h := 0.0
+	for _, p := range m {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// profileKey encodes a joint action profile as a map key. Action indices are
+// stored one byte each, which bounds action sets at 256 — far beyond any
+// scenario here (actions are helpers).
+func profileKey(profile []int) string {
+	b := make([]byte, len(profile))
+	for i, a := range profile {
+		if a < 0 || a > 255 {
+			panic(fmt.Sprintf("game: action %d out of key range", a))
+		}
+		b[i] = byte(a)
+	}
+	return string(b)
+}
+
+// JointDist is a distribution over joint action profiles — the object a
+// correlated equilibrium constrains. It is typically built empirically from
+// observed stage plays.
+type JointDist struct {
+	numPlayers int
+	mass       map[string]float64
+	total      float64
+}
+
+// NewJointDist returns an empty distribution for games with numPlayers
+// players.
+func NewJointDist(numPlayers int) *JointDist {
+	return &JointDist{numPlayers: numPlayers, mass: make(map[string]float64)}
+}
+
+// Observe adds weight to a joint profile (typically weight 1 per stage).
+func (d *JointDist) Observe(profile []int, weight float64) {
+	if len(profile) != d.numPlayers {
+		panic(fmt.Sprintf("game: Observe profile length %d, want %d", len(profile), d.numPlayers))
+	}
+	if weight < 0 {
+		panic(fmt.Sprintf("game: Observe negative weight %g", weight))
+	}
+	d.mass[profileKey(profile)] += weight
+	d.total += weight
+}
+
+// Total returns the total observed weight.
+func (d *JointDist) Total() float64 { return d.total }
+
+// SupportSize returns the number of distinct profiles observed.
+func (d *JointDist) SupportSize() int { return len(d.mass) }
+
+// Each iterates over (profile, probability) pairs. The profile slice is
+// reused across calls; copy it to retain.
+func (d *JointDist) Each(fn func(profile []int, prob float64)) {
+	if d.total == 0 {
+		return
+	}
+	profile := make([]int, d.numPlayers)
+	for k, w := range d.mass {
+		for i := 0; i < d.numPlayers; i++ {
+			profile[i] = int(k[i])
+		}
+		fn(profile, w/d.total)
+	}
+}
+
+// CEViolation returns the maximum correlated-equilibrium violation of the
+// distribution under the game's expected utilities: the largest gain any
+// player could secure by a deviation rule "whenever recommended j, play k
+// instead" (paper eq. 3-1). A (exact) correlated equilibrium has violation
+// <= 0; empirical play converging to the CE set has violation → 0.
+func CEViolation(g Game, d *JointDist) float64 {
+	worst := math.Inf(-1)
+	n := g.NumPlayers()
+	if d.Total() == 0 {
+		return 0
+	}
+	// gain[i][j][k] accumulates Σ_a z(a)·1{a_i=j}·(u_i(k,a_-i) − u_i(a)).
+	gains := make([][][]float64, n)
+	for i := 0; i < n; i++ {
+		ai := g.NumActions(i)
+		gains[i] = make([][]float64, ai)
+		for j := 0; j < ai; j++ {
+			gains[i][j] = make([]float64, ai)
+		}
+	}
+	alt := make([]int, n)
+	d.Each(func(profile []int, prob float64) {
+		copy(alt, profile)
+		for i := 0; i < n; i++ {
+			j := profile[i]
+			base := g.Utility(i, profile)
+			for k := 0; k < g.NumActions(i); k++ {
+				if k == j {
+					continue
+				}
+				alt[i] = k
+				gains[i][j][k] += prob * (g.Utility(i, alt) - base)
+			}
+			alt[i] = j
+		}
+	})
+	for i := range gains {
+		for j := range gains[i] {
+			for k := range gains[i][j] {
+				if gains[i][j][k] > worst {
+					worst = gains[i][j][k]
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// IsEpsilonCE reports whether the distribution is an ε-correlated
+// equilibrium of the game.
+func IsEpsilonCE(g Game, d *JointDist, epsilon float64) bool {
+	return CEViolation(g, d) <= epsilon
+}
+
+// NashViolation returns the largest unilateral expected gain available to
+// any player when all players independently randomize per strategies. A
+// (mixed) Nash equilibrium has violation <= 0. Cost is exponential in the
+// player count — use only on small games.
+func NashViolation(g Game, strategies []Mixed) float64 {
+	n := g.NumPlayers()
+	if len(strategies) != n {
+		panic(fmt.Sprintf("game: NashViolation with %d strategies, want %d", len(strategies), n))
+	}
+	// Expected utility of player i when deviating to pure action k (or -1
+	// for "follow the mixed strategy").
+	expected := func(player, forced int) float64 {
+		total := 0.0
+		profile := make([]int, n)
+		var rec func(p int, prob float64)
+		rec = func(p int, prob float64) {
+			if prob == 0 {
+				return
+			}
+			if p == n {
+				total += prob * g.Utility(player, profile)
+				return
+			}
+			if p == player && forced >= 0 {
+				profile[p] = forced
+				rec(p+1, prob)
+				return
+			}
+			for a, pa := range strategies[p] {
+				profile[p] = a
+				rec(p+1, prob*pa)
+			}
+		}
+		rec(0, 1)
+		return total
+	}
+	worst := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		base := expected(i, -1)
+		for k := 0; k < g.NumActions(i); k++ {
+			if gain := expected(i, k) - base; gain > worst {
+				worst = gain
+			}
+		}
+	}
+	return worst
+}
+
+// BestResponse returns the action maximizing player's utility holding the
+// rest of the profile fixed; ties break toward the lowest index.
+func BestResponse(g Game, player int, profile []int) int {
+	best, bestU := 0, math.Inf(-1)
+	work := make([]int, len(profile))
+	copy(work, profile)
+	for a := 0; a < g.NumActions(player); a++ {
+		work[player] = a
+		if u := g.Utility(player, work); u > bestU {
+			best, bestU = a, u
+		}
+	}
+	return best
+}
+
+// EnumerateProfiles calls fn for every joint profile of the game. Cost is
+// the product of action-set sizes; callers must keep games tiny.
+func EnumerateProfiles(g Game, fn func(profile []int)) {
+	n := g.NumPlayers()
+	profile := make([]int, n)
+	var rec func(p int)
+	rec = func(p int) {
+		if p == n {
+			fn(profile)
+			return
+		}
+		for a := 0; a < g.NumActions(p); a++ {
+			profile[p] = a
+			rec(p + 1)
+		}
+	}
+	rec(0)
+}

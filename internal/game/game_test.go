@@ -1,0 +1,376 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rths/internal/xrand"
+)
+
+// matchingPennies is the classic zero-sum game with no pure NE.
+type matchingPennies struct{}
+
+func (matchingPennies) NumPlayers() int    { return 2 }
+func (matchingPennies) NumActions(int) int { return 2 }
+func (matchingPennies) Utility(p int, a []int) float64 {
+	match := a[0] == a[1]
+	if (p == 0) == match {
+		return 1
+	}
+	return -1
+}
+
+// chicken is the standard game of chicken used in CE literature: the
+// correlated equilibrium over {(D,H),(H,D),(D,D)} beats the mixed NE.
+type chicken struct{}
+
+func (chicken) NumPlayers() int    { return 2 }
+func (chicken) NumActions(int) int { return 2 }
+
+// Action 0 = Dare(hawk), 1 = Chicken(dove).
+func (chicken) Utility(p int, a []int) float64 {
+	u := [2][2][2]float64{
+		// a0=0         a0=1
+		{{0, 0}, {7, 2}}, // row: a0=0: vs a1=0 -> (0,0); vs a1=1 -> (7,2)
+		{{2, 7}, {6, 6}}, // a0=1
+	}
+	return u[a[0]][a[1]][p]
+}
+
+func TestMixedValidate(t *testing.T) {
+	if err := (Mixed{0.5, 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Mixed{0.5, 0.6}).Validate(); err == nil {
+		t.Fatal("non-normalized accepted")
+	}
+	if err := (Mixed{1.5, -0.5}).Validate(); err == nil {
+		t.Fatal("negative mass accepted")
+	}
+}
+
+func TestUniformEntropy(t *testing.T) {
+	u := Uniform(4)
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u.Entropy()-math.Log(4)) > 1e-12 {
+		t.Fatalf("entropy = %g, want ln4", u.Entropy())
+	}
+	if got := (Mixed{1, 0}).Entropy(); got != 0 {
+		t.Fatalf("point-mass entropy = %g", got)
+	}
+}
+
+func TestJointDistObserveAndEach(t *testing.T) {
+	d := NewJointDist(2)
+	d.Observe([]int{0, 1}, 1)
+	d.Observe([]int{0, 1}, 1)
+	d.Observe([]int{1, 0}, 2)
+	if d.Total() != 4 || d.SupportSize() != 2 {
+		t.Fatalf("total=%g support=%d", d.Total(), d.SupportSize())
+	}
+	sum := 0.0
+	d.Each(func(profile []int, prob float64) { sum += prob })
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+}
+
+func TestJointDistPanics(t *testing.T) {
+	d := NewJointDist(2)
+	mustPanic(t, func() { d.Observe([]int{0}, 1) })
+	mustPanic(t, func() { d.Observe([]int{0, 0}, -1) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestCEViolationUniformMatchingPennies(t *testing.T) {
+	// The uniform joint distribution over all four profiles is the unique
+	// CE of matching pennies; violation must be <= 0.
+	d := NewJointDist(2)
+	for a0 := 0; a0 < 2; a0++ {
+		for a1 := 0; a1 < 2; a1++ {
+			d.Observe([]int{a0, a1}, 1)
+		}
+	}
+	if v := CEViolation(matchingPennies{}, d); v > 1e-12 {
+		t.Fatalf("uniform MP violation = %g, want <= 0", v)
+	}
+}
+
+func TestCEViolationDetectsNonEquilibrium(t *testing.T) {
+	// Point mass on (0,0) in matching pennies: player 1 gains 2 by
+	// deviating, so the violation must be 2.
+	d := NewJointDist(2)
+	d.Observe([]int{0, 0}, 1)
+	if v := CEViolation(matchingPennies{}, d); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("violation = %g, want 2", v)
+	}
+}
+
+func TestChickenCorrelatedEquilibrium(t *testing.T) {
+	// The classic traffic-light CE of chicken: 1/3 on (D,C), (C,D), (C,C).
+	d := NewJointDist(2)
+	d.Observe([]int{0, 1}, 1)
+	d.Observe([]int{1, 0}, 1)
+	d.Observe([]int{1, 1}, 1)
+	if v := CEViolation(chicken{}, d); v > 1e-12 {
+		t.Fatalf("chicken CE violation = %g, want <= 0", v)
+	}
+	// Point mass on (D,D) is far from CE.
+	bad := NewJointDist(2)
+	bad.Observe([]int{0, 0}, 1)
+	if v := CEViolation(chicken{}, bad); v <= 0 {
+		t.Fatalf("bad distribution reported as CE (violation %g)", v)
+	}
+}
+
+func TestIsEpsilonCE(t *testing.T) {
+	d := NewJointDist(2)
+	d.Observe([]int{0, 0}, 1)
+	if IsEpsilonCE(matchingPennies{}, d, 0.5) {
+		t.Fatal("violation 2 accepted at epsilon 0.5")
+	}
+	if !IsEpsilonCE(matchingPennies{}, d, 2.5) {
+		t.Fatal("violation 2 rejected at epsilon 2.5")
+	}
+}
+
+func TestNashViolationMixedNE(t *testing.T) {
+	// (1/2,1/2) vs (1/2,1/2) is the NE of matching pennies.
+	ne := []Mixed{{0.5, 0.5}, {0.5, 0.5}}
+	if v := NashViolation(matchingPennies{}, ne); v > 1e-12 {
+		t.Fatalf("NE violation = %g", v)
+	}
+	// A pure profile is not an equilibrium.
+	bad := []Mixed{{1, 0}, {1, 0}}
+	if v := NashViolation(matchingPennies{}, bad); v < 1 {
+		t.Fatalf("non-NE violation = %g, want >= 2", v)
+	}
+}
+
+func TestBestResponse(t *testing.T) {
+	g, err := NewHelperGame(3, []float64{900, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two peers already on helper 0: joining 0 gives 900/3=300, joining 1
+	// gives 300/1=300; tie breaks to index 0.
+	if got := BestResponse(g, 2, []int{0, 0, 0}); got != 0 {
+		t.Fatalf("BestResponse = %d", got)
+	}
+	// Make helper 1 strictly better.
+	g2, err := NewHelperGame(3, []float64{900, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BestResponse(g2, 2, []int{0, 0, 0}); got != 1 {
+		t.Fatalf("BestResponse = %d, want 1", got)
+	}
+}
+
+func TestEnumerateProfilesCount(t *testing.T) {
+	g, err := NewHelperGame(3, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	EnumerateProfiles(g, func([]int) { count++ })
+	if count != 8 {
+		t.Fatalf("enumerated %d profiles, want 8", count)
+	}
+}
+
+func TestHelperGameValidation(t *testing.T) {
+	if _, err := NewHelperGame(0, []float64{1}); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+	if _, err := NewHelperGame(1, nil); err == nil {
+		t.Fatal("no helpers accepted")
+	}
+	if _, err := NewHelperGame(1, []float64{0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewHelperGame(1, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN capacity accepted")
+	}
+}
+
+func TestHelperGameUtilityAndLoads(t *testing.T) {
+	g, err := NewHelperGame(4, []float64{800, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := []int{0, 0, 1, 0}
+	loads := g.Loads(profile)
+	if loads[0] != 3 || loads[1] != 1 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if u := g.Utility(0, profile); math.Abs(u-800.0/3) > 1e-12 {
+		t.Fatalf("u0 = %g", u)
+	}
+	if u := g.Utility(2, profile); u != 600 {
+		t.Fatalf("u2 = %g", u)
+	}
+}
+
+func TestWelfareIdentity(t *testing.T) {
+	// Σ_i u_i == Σ_{occupied j} C_j for every profile of a small game.
+	g, err := NewHelperGame(4, []float64{700, 800, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	EnumerateProfiles(g, func(profile []int) {
+		sum := 0.0
+		for i := 0; i < g.NumPlayers(); i++ {
+			sum += g.Utility(i, profile)
+		}
+		if math.Abs(sum-g.Welfare(profile)) > 1e-9 {
+			t.Fatalf("welfare identity broken at %v: %g vs %g", profile, sum, g.Welfare(profile))
+		}
+	})
+}
+
+func TestMaxWelfare(t *testing.T) {
+	g, err := NewHelperGame(5, []float64{700, 800, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MaxWelfare(); got != 2400 {
+		t.Fatalf("MaxWelfare = %g, want 2400", got)
+	}
+	// Fewer peers than helpers: only the largest capacities count.
+	g2, err := NewHelperGame(2, []float64{700, 800, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.MaxWelfare(); got != 1700 {
+		t.Fatalf("MaxWelfare = %g, want 1700", got)
+	}
+}
+
+// Property: Rosenthal potential difference equals the deviator's utility
+// difference for arbitrary unilateral deviations (exact potential game).
+func TestPotentialExactnessProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(5)
+		h := 2 + r.Intn(3)
+		caps := make([]float64, h)
+		for j := range caps {
+			caps[j] = 100 + r.Float64()*900
+		}
+		g, err := NewHelperGame(n, caps)
+		if err != nil {
+			return false
+		}
+		profile := make([]int, n)
+		for i := range profile {
+			profile[i] = r.Intn(h)
+		}
+		player := r.Intn(n)
+		dev := r.Intn(h)
+		before := g.Utility(player, profile)
+		phiBefore := g.Potential(profile)
+		old := profile[player]
+		profile[player] = dev
+		after := g.Utility(player, profile)
+		phiAfter := g.Potential(profile)
+		profile[player] = old
+		return math.Abs((after-before)-(phiAfter-phiBefore)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: best-response dynamics strictly increase the potential until a
+// pure NE is reached, and reach one (finite improvement property).
+func TestBestResponseDynamicsConverge(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(4)
+		h := 2 + r.Intn(3)
+		caps := make([]float64, h)
+		for j := range caps {
+			caps[j] = 100 + r.Float64()*900
+		}
+		g, err := NewHelperGame(n, caps)
+		if err != nil {
+			return false
+		}
+		profile := make([]int, n)
+		for i := range profile {
+			profile[i] = r.Intn(h)
+		}
+		for iter := 0; iter < 1000; iter++ {
+			improved := false
+			for i := 0; i < n; i++ {
+				br := BestResponse(g, i, profile)
+				if br != profile[i] {
+					before := g.Utility(i, profile)
+					old := profile[i]
+					profile[i] = br
+					if g.Utility(i, profile) <= before+1e-12 {
+						profile[i] = old // tie: not an improvement
+						continue
+					}
+					improved = true
+				}
+			}
+			if !improved {
+				return true // pure NE reached
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviationUtility(t *testing.T) {
+	g, err := NewHelperGame(3, []float64{600, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := []int{0, 0, 1}
+	loads := g.Loads(profile)
+	// Player 0 stays: 600/2. Deviates to 1: 900/(1+1).
+	if u := g.DeviationUtility(0, 0, profile, loads); math.Abs(u-300) > 1e-12 {
+		t.Fatalf("stay utility = %g", u)
+	}
+	if u := g.DeviationUtility(0, 1, profile, loads); math.Abs(u-450) > 1e-12 {
+		t.Fatalf("deviation utility = %g", u)
+	}
+}
+
+func BenchmarkCEViolationSmall(b *testing.B) {
+	g, err := NewHelperGame(4, []float64{700, 800, 900})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	d := NewJointDist(4)
+	profile := make([]int, 4)
+	for s := 0; s < 500; s++ {
+		for i := range profile {
+			profile[i] = r.Intn(3)
+		}
+		d.Observe(profile, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CEViolation(g, d)
+	}
+}

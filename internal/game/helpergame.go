@@ -1,0 +1,143 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// HelperGame is the paper's helper-selection stage game for a fixed helper
+// bandwidth state: N peers each pick one of H helpers, and a peer attached
+// to helper j receives C_j / n_j where n_j is the number of peers on j.
+//
+// It is a congestion game with payoff function d_j(n) = C_j/n, hence it
+// admits the exact Rosenthal potential Φ(a) = Σ_j Σ_{l=1..n_j} C_j/l and a
+// pure Nash equilibrium (paper §III.B). It is also the utility model the
+// learning layer and the MDP benchmark share.
+type HelperGame struct {
+	numPeers   int
+	capacities []float64
+}
+
+var _ Game = (*HelperGame)(nil)
+
+// NewHelperGame builds the stage game for numPeers peers over the given
+// helper capacities (one entry per helper, all positive).
+func NewHelperGame(numPeers int, capacities []float64) (*HelperGame, error) {
+	if numPeers <= 0 {
+		return nil, fmt.Errorf("game: HelperGame with %d peers", numPeers)
+	}
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("game: HelperGame with no helpers")
+	}
+	for j, c := range capacities {
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("game: helper %d capacity %g invalid", j, c)
+		}
+	}
+	cp := make([]float64, len(capacities))
+	copy(cp, capacities)
+	return &HelperGame{numPeers: numPeers, capacities: cp}, nil
+}
+
+// NumPlayers implements Game.
+func (g *HelperGame) NumPlayers() int { return g.numPeers }
+
+// NumActions implements Game; every peer can choose any helper.
+func (g *HelperGame) NumActions(int) int { return len(g.capacities) }
+
+// NumHelpers returns the number of helpers.
+func (g *HelperGame) NumHelpers() int { return len(g.capacities) }
+
+// Capacity returns helper j's upload capacity.
+func (g *HelperGame) Capacity(j int) float64 { return g.capacities[j] }
+
+// Loads returns the per-helper peer counts induced by the profile.
+func (g *HelperGame) Loads(profile []int) []int {
+	loads := make([]int, len(g.capacities))
+	for _, a := range profile {
+		loads[a]++
+	}
+	return loads
+}
+
+// Utility implements Game: C_j / n_j for the helper the player selected.
+func (g *HelperGame) Utility(player int, profile []int) float64 {
+	j := profile[player]
+	n := 0
+	for _, a := range profile {
+		if a == j {
+			n++
+		}
+	}
+	return g.capacities[j] / float64(n)
+}
+
+// Welfare returns the social welfare Σ_i u_i(a). For this utility model it
+// equals Σ_{j: n_j > 0} C_j — every occupied helper contributes exactly its
+// capacity regardless of how many peers share it.
+func (g *HelperGame) Welfare(profile []int) float64 {
+	seen := make([]bool, len(g.capacities))
+	w := 0.0
+	for _, a := range profile {
+		if !seen[a] {
+			seen[a] = true
+			w += g.capacities[a]
+		}
+	}
+	return w
+}
+
+// MaxWelfare returns the optimum social welfare over all profiles: when
+// N >= H all helpers can be covered (Σ_j C_j); otherwise the N largest
+// capacities are covered.
+func (g *HelperGame) MaxWelfare() float64 {
+	if g.numPeers >= len(g.capacities) {
+		sum := 0.0
+		for _, c := range g.capacities {
+			sum += c
+		}
+		return sum
+	}
+	// Pick the numPeers largest capacities (selection by repeated max is
+	// fine: H is tiny).
+	taken := make([]bool, len(g.capacities))
+	sum := 0.0
+	for p := 0; p < g.numPeers; p++ {
+		best, bestC := -1, 0.0
+		for j, c := range g.capacities {
+			if !taken[j] && c > bestC {
+				best, bestC = j, c
+			}
+		}
+		taken[best] = true
+		sum += bestC
+	}
+	return sum
+}
+
+// Potential returns the exact Rosenthal potential Φ(a) = Σ_j Σ_{l=1..n_j}
+// C_j/l. For any unilateral deviation, ΔΦ equals the deviator's Δu — the
+// defining property of an exact potential game.
+func (g *HelperGame) Potential(profile []int) float64 {
+	loads := g.Loads(profile)
+	phi := 0.0
+	for j, n := range loads {
+		for l := 1; l <= n; l++ {
+			phi += g.capacities[j] / float64(l)
+		}
+	}
+	return phi
+}
+
+// DeviationUtility returns the utility player would get by switching to
+// helper k while everyone else keeps the profile: C_k/(n_k+1) if k differs
+// from the current pick, or the current utility otherwise. This is the
+// clairvoyant counterfactual the evaluation harness (not the learner) uses
+// to audit regret.
+func (g *HelperGame) DeviationUtility(player, k int, profile []int, loads []int) float64 {
+	j := profile[player]
+	if k == j {
+		return g.capacities[j] / float64(loads[j])
+	}
+	return g.capacities[k] / float64(loads[k]+1)
+}

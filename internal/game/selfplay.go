@@ -1,0 +1,88 @@
+package game
+
+import (
+	"fmt"
+
+	"rths/internal/xrand"
+)
+
+// Player is the minimal learning interface self-play drives — satisfied by
+// the regret learners (and by the baselines via core.Selector, which has
+// the same shape). Keeping the interface here, structurally identical to
+// core.Selector, lets the game package validate the learning algorithms on
+// arbitrary normal-form games without importing the streaming stack.
+type Player interface {
+	Select(r *xrand.Rand) int
+	Update(action int, utility float64) error
+	NumActions() int
+}
+
+// SelfPlayResult is the outcome of repeated self-play.
+type SelfPlayResult struct {
+	// Empirical is the joint distribution of play over all stages after
+	// the warm-up.
+	Empirical *JointDist
+	// MeanUtility[i] is player i's average stage utility after warm-up.
+	MeanUtility []float64
+	// Stages is the number of recorded (post-warm-up) stages.
+	Stages int
+}
+
+// SelfPlay runs the players on the game for the given number of stages,
+// feeding each only its own realized utility (bandit feedback). Utilities
+// are offset-normalized into [0,1] with the provided bounds before being
+// handed to the players; the recorded statistics stay in game units.
+//
+// This is the harness used to verify the CE-convergence property of the
+// regret learners on games with known equilibrium structure (chicken,
+// matching pennies, congestion games) — independent of the streaming
+// system they were built for.
+func SelfPlay(g Game, players []Player, rng *xrand.Rand, stages, warmup int, lo, hi float64) (*SelfPlayResult, error) {
+	n := g.NumPlayers()
+	if len(players) != n {
+		return nil, fmt.Errorf("game: SelfPlay with %d players, want %d", len(players), n)
+	}
+	if stages <= 0 || warmup < 0 || warmup >= stages {
+		return nil, fmt.Errorf("game: SelfPlay stages=%d warmup=%d", stages, warmup)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("game: SelfPlay bounds [%g, %g]", lo, hi)
+	}
+	for i, p := range players {
+		if p.NumActions() != g.NumActions(i) {
+			return nil, fmt.Errorf("game: player %d has %d actions, game wants %d",
+				i, p.NumActions(), g.NumActions(i))
+		}
+	}
+	res := &SelfPlayResult{
+		Empirical:   NewJointDist(n),
+		MeanUtility: make([]float64, n),
+	}
+	profile := make([]int, n)
+	span := hi - lo
+	for s := 0; s < stages; s++ {
+		for i, p := range players {
+			profile[i] = p.Select(rng)
+		}
+		for i, p := range players {
+			u := g.Utility(i, profile)
+			if u < lo || u > hi {
+				return nil, fmt.Errorf("game: utility %g outside declared bounds [%g, %g]", u, lo, hi)
+			}
+			if err := p.Update(profile[i], (u-lo)/span); err != nil {
+				return nil, fmt.Errorf("game: player %d update: %w", i, err)
+			}
+			if s >= warmup {
+				res.MeanUtility[i] += u
+			}
+		}
+		if s >= warmup {
+			res.Empirical.Observe(profile, 1)
+			res.Stages++
+		}
+	}
+	for i := range res.MeanUtility {
+		res.MeanUtility[i] /= float64(res.Stages)
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"rths/internal/regret"
+	"rths/internal/xrand"
+)
+
+func trackingPlayers(t *testing.T, g Game) []Player {
+	t.Helper()
+	players := make([]Player, g.NumPlayers())
+	for i := range players {
+		cfg := regret.Config{
+			NumActions:  g.NumActions(i),
+			StepSize:    0.01,
+			Exploration: 0.08,
+			Mu:          0.05,
+			Mode:        regret.ModeTracking,
+		}
+		l, err := regret.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		players[i] = l
+	}
+	return players
+}
+
+func TestSelfPlayValidation(t *testing.T) {
+	g := matchingPennies{}
+	players := trackingPlayers(t, g)
+	r := xrand.New(1)
+	if _, err := SelfPlay(g, players[:1], r, 100, 10, -1, 1); err == nil {
+		t.Fatal("wrong player count accepted")
+	}
+	if _, err := SelfPlay(g, players, r, 0, 0, -1, 1); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+	if _, err := SelfPlay(g, players, r, 100, 100, -1, 1); err == nil {
+		t.Fatal("warmup >= stages accepted")
+	}
+	if _, err := SelfPlay(g, players, r, 100, 10, 1, 1); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	// Bounds must actually contain the utilities.
+	if _, err := SelfPlay(g, players, r, 100, 10, 0, 0.5); err == nil {
+		t.Fatal("out-of-bounds utilities not detected")
+	}
+}
+
+// The central theorem the paper builds on: regret-based self-play drives
+// the empirical joint distribution into the correlated-equilibrium set.
+// Matching pennies has a unique CE (uniform), so the violation must
+// approach zero and the empirical marginals must approach (1/2, 1/2).
+func TestSelfPlayMatchingPenniesConvergesToCE(t *testing.T) {
+	g := matchingPennies{}
+	players := trackingPlayers(t, g)
+	res, err := SelfPlay(g, players, xrand.New(7), 20000, 4000, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CEViolation(g, res.Empirical); v > 0.08 {
+		t.Fatalf("matching pennies CE violation = %g, want <= 0.08", v)
+	}
+	// Zero-sum: mean utilities should be near zero.
+	for i, u := range res.MeanUtility {
+		if math.Abs(u) > 0.1 {
+			t.Fatalf("player %d mean utility %g, want ~0", i, u)
+		}
+	}
+}
+
+// In chicken, regret dynamics land in the CE set. The set contains the
+// mixed Nash equilibrium (p(Dare)=1/3 each, crash probability 1/9), so the
+// guarantee is *not* zero crashes — it is that empirical play cannot put
+// more than the equilibrium share of mass on the crash profile, and that
+// the CE constraints hold.
+func TestSelfPlayChickenStaysInCESet(t *testing.T) {
+	g := chicken{}
+	players := trackingPlayers(t, g)
+	res, err := SelfPlay(g, players, xrand.New(11), 20000, 4000, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := 0.0
+	res.Empirical.Each(func(profile []int, prob float64) {
+		if profile[0] == 0 && profile[1] == 0 {
+			crash = prob
+		}
+	})
+	// 1/9 ≈ 0.111 at the mixed NE; allow sampling slack.
+	if crash > 0.15 {
+		t.Fatalf("crash profile probability = %g, want <= 0.15 (mixed-NE share 0.111)", crash)
+	}
+	if v := CEViolation(g, res.Empirical); v > 0.5 {
+		t.Fatalf("chicken CE violation = %g", v)
+	}
+}
+
+// The helper-selection stage game under self-play: empirical play must be
+// an ε-CE and split the load near-evenly — the paper's claims at the level
+// of the abstract game, with fixed capacities (no Markov noise).
+func TestSelfPlayHelperGame(t *testing.T) {
+	g, err := NewHelperGame(6, []float64{800, 800, 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	players := trackingPlayers(t, g)
+	res, err := SelfPlay(g, players, xrand.New(13), 15000, 3000, 0, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε-CE in game units (utilities up to 800 kbps).
+	if v := CEViolation(g, res.Empirical); v > 40 {
+		t.Fatalf("helper game CE violation = %g kbps", v)
+	}
+	// Every peer's long-run utility near the fair share 2400/6 = 400.
+	for i, u := range res.MeanUtility {
+		if u < 330 || u > 470 {
+			t.Fatalf("player %d mean utility %g, want ~400", i, u)
+		}
+	}
+}

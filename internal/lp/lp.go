@@ -1,0 +1,355 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs. It exists to solve the occupation-measure program of the
+// centralized MDP benchmark (paper §IV.A) without external dependencies.
+//
+// Problems are stated in the natural form
+//
+//	max/min  cᵀx
+//	s.t.     aᵢᵀx (<=|=|>=) bᵢ   for every constraint i
+//	         x >= 0
+//
+// and converted internally to standard equality form with slack, surplus
+// and artificial variables. Phase one drives the artificials to zero (or
+// proves infeasibility); phase two optimizes the caller's objective.
+// Bland's anti-cycling rule keeps termination guaranteed; the problem sizes
+// here (hundreds of variables) make its modest speed irrelevant.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rounding tolerance used across the solver.
+const eps = 1e-9
+
+// Errors reported by Solve.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+)
+
+// Sense says whether the objective is maximized or minimized.
+type Sense int
+
+// Objective senses. Start at 1 so the zero value is invalid and cannot be
+// mistaken for a deliberate choice.
+const (
+	Maximize Sense = iota + 1
+	Minimize
+)
+
+// Relation is the comparison operator of one constraint.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota + 1 // aᵀx <= b
+	EQ                     // aᵀx  = b
+	GE                     // aᵀx >= b
+)
+
+// Constraint is one linear constraint over the decision variables.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program over n non-negative variables.
+type Problem struct {
+	Sense     Sense
+	Objective []float64
+	Cons      []Constraint
+}
+
+// NewProblem returns an empty problem over n variables.
+func NewProblem(sense Sense, objective []float64) *Problem {
+	return &Problem{Sense: sense, Objective: objective}
+}
+
+// AddConstraint appends a constraint; coeffs must have the objective's length.
+func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) {
+	p.Cons = append(p.Cons, Constraint{Coeffs: coeffs, Rel: rel, RHS: rhs})
+}
+
+// Solution is an optimal solution to a problem.
+type Solution struct {
+	X         []float64 // optimal values of the decision variables
+	Objective float64   // optimal objective value in the caller's sense
+}
+
+// tableau is the dense simplex working state in standard equality form.
+type tableau struct {
+	m, n  int // constraints, total columns (decision+slack+artificial)
+	a     [][]float64
+	b     []float64
+	basis []int // basis[i] = column basic in row i
+}
+
+// Solve optimizes the problem. On success it returns the optimum; otherwise
+// ErrInfeasible or ErrUnbounded (wrapped with context).
+func Solve(p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	nDec := len(p.Objective)
+	m := len(p.Cons)
+
+	// Count extra columns: one slack or surplus per inequality, one
+	// artificial per >= or = row (and per <= row with negative RHS after
+	// normalization — handled by normalizing sign first).
+	type rowSpec struct {
+		coeffs []float64
+		rhs    float64
+		rel    Relation
+	}
+	rows := make([]rowSpec, m)
+	for i, c := range p.Cons {
+		coeffs := make([]float64, nDec)
+		copy(coeffs, c.Coeffs)
+		rhs := c.RHS
+		rel := c.Rel
+		if rhs < 0 {
+			// Flip the row so every RHS is non-negative.
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = rowSpec{coeffs: coeffs, rhs: rhs, rel: rel}
+	}
+
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		switch r.rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	n := nDec + nSlack + nArt
+	t := &tableau{
+		m:     m,
+		n:     n,
+		a:     make([][]float64, m),
+		b:     make([]float64, m),
+		basis: make([]int, m),
+	}
+	artCols := make([]bool, n)
+	slackAt := nDec
+	artAt := nDec + nSlack
+	for i, r := range rows {
+		row := make([]float64, n)
+		copy(row, r.coeffs)
+		t.b[i] = r.rhs
+		switch r.rel {
+		case LE:
+			row[slackAt] = 1
+			t.basis[i] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1 // surplus
+			slackAt++
+			row[artAt] = 1
+			t.basis[i] = artAt
+			artCols[artAt] = true
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			t.basis[i] = artAt
+			artCols[artAt] = true
+			artAt++
+		}
+		t.a[i] = row
+	}
+
+	// Phase one: minimize the sum of artificial variables.
+	if nArt > 0 {
+		phase1Obj := make([]float64, n)
+		for j, isArt := range artCols {
+			if isArt {
+				phase1Obj[j] = -1 // maximize -(sum of artificials)
+			}
+		}
+		if err := t.optimize(phase1Obj); err != nil {
+			// Phase one is bounded below by construction; unboundedness here
+			// indicates a bug, so surface it loudly.
+			return nil, fmt.Errorf("lp: phase one failed: %w", err)
+		}
+		artSum := 0.0
+		for i, col := range t.basis {
+			if artCols[col] {
+				artSum += t.b[i]
+			}
+		}
+		if artSum > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Drive remaining degenerate artificials out of the basis when
+		// possible so phase two never pivots on them.
+		for i, col := range t.basis {
+			if !artCols[col] {
+				continue
+			}
+			for j := 0; j < nDec+nSlack; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					break
+				}
+			}
+		}
+	}
+
+	// Phase two: the real objective (always expressed as maximization).
+	obj := make([]float64, n)
+	for j := 0; j < nDec; j++ {
+		if p.Sense == Maximize {
+			obj[j] = p.Objective[j]
+		} else {
+			obj[j] = -p.Objective[j]
+		}
+	}
+	// Forbid artificials from re-entering.
+	blocked := artCols
+	if err := t.optimizeBlocked(obj, blocked); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, nDec)
+	for i, col := range t.basis {
+		if col < nDec {
+			x[col] = t.b[i]
+		}
+	}
+	val := 0.0
+	for j := 0; j < nDec; j++ {
+		val += p.Objective[j] * x[j]
+	}
+	return &Solution{X: x, Objective: val}, nil
+}
+
+func validate(p *Problem) error {
+	if p.Sense != Maximize && p.Sense != Minimize {
+		return fmt.Errorf("lp: invalid sense %d", p.Sense)
+	}
+	n := len(p.Objective)
+	if n == 0 {
+		return errors.New("lp: empty objective")
+	}
+	for i, c := range p.Cons {
+		if len(c.Coeffs) != n {
+			return fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
+		}
+		if c.Rel != LE && c.Rel != EQ && c.Rel != GE {
+			return fmt.Errorf("lp: constraint %d has invalid relation %d", i, c.Rel)
+		}
+		for j, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d coefficient %d is %g", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// optimize maximizes obj over the current tableau.
+func (t *tableau) optimize(obj []float64) error {
+	return t.optimizeBlocked(obj, nil)
+}
+
+// optimizeBlocked maximizes obj, never letting blocked columns enter the
+// basis. It uses Bland's rule (smallest eligible index) for both the
+// entering and the leaving variable, which precludes cycling.
+func (t *tableau) optimizeBlocked(obj []float64, blocked []bool) error {
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			return errors.New("lp: iteration limit exceeded (possible numerical trouble)")
+		}
+		// Reduced costs: c_j - c_Bᵀ B⁻¹ a_j. With an explicit tableau the
+		// basis columns are unit vectors, so compute z_j directly.
+		entering := -1
+		for j := 0; j < t.n; j++ {
+			if blocked != nil && blocked[j] {
+				continue
+			}
+			if t.isBasic(j) {
+				continue
+			}
+			rc := obj[j]
+			for i := 0; i < t.m; i++ {
+				rc -= obj[t.basis[i]] * t.a[i][j]
+			}
+			if rc > eps {
+				entering = j
+				break // Bland: first improving column
+			}
+		}
+		if entering == -1 {
+			return nil // optimal
+		}
+		// Ratio test with Bland tie-breaking on the leaving basis column.
+		leaving := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][entering] > eps {
+				ratio := t.b[i] / t.a[i][entering]
+				if ratio < best-eps || (ratio < best+eps && (leaving == -1 || t.basis[i] < t.basis[leaving])) {
+					best = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(leaving, entering)
+	}
+}
+
+func (t *tableau) isBasic(col int) bool {
+	for _, b := range t.basis {
+		if b == col {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot makes column `col` basic in row `row`.
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	inv := 1 / p
+	for j := 0; j < t.n; j++ {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	t.a[row][col] = 1 // cancel rounding
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.a[i][col] = 0
+		t.b[i] -= f * t.b[row]
+	}
+	t.basis[row] = col
+}

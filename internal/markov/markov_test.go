@@ -1,0 +1,289 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rths/internal/mat"
+	"rths/internal/xrand"
+)
+
+func twoState(a, b float64) *Chain {
+	return MustNew(mat.FromRows([][]float64{
+		{1 - a, a},
+		{b, 1 - b},
+	}))
+}
+
+func TestNewRejectsNonSquare(t *testing.T) {
+	if _, err := New(mat.NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestNewRejectsBadRows(t *testing.T) {
+	m := mat.FromRows([][]float64{{0.5, 0.4}, {0.5, 0.5}})
+	if _, err := New(m); !errors.Is(err, ErrNotStochastic) {
+		t.Fatalf("err = %v, want ErrNotStochastic", err)
+	}
+	neg := mat.FromRows([][]float64{{1.5, -0.5}, {0.5, 0.5}})
+	if _, err := New(neg); !errors.Is(err, ErrNotStochastic) {
+		t.Fatalf("err = %v, want ErrNotStochastic", err)
+	}
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	// π = (b, a)/(a+b) for the standard two-state chain.
+	c := twoState(0.3, 0.1)
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.25) > 1e-9 || math.Abs(pi[1]-0.75) > 1e-9 {
+		t.Fatalf("stationary = %v, want [0.25 0.75]", pi)
+	}
+}
+
+func TestStationaryMatchesPowerIteration(t *testing.T) {
+	c := MustNew(mat.FromRows([][]float64{
+		{0.7, 0.2, 0.1},
+		{0.3, 0.5, 0.2},
+		{0.2, 0.3, 0.5},
+	}))
+	exact, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := c.StationaryPower(500)
+	for i := range exact {
+		if math.Abs(exact[i]-approx[i]) > 1e-9 {
+			t.Fatalf("exact %v vs power %v", exact, approx)
+		}
+	}
+}
+
+func TestStationaryIsFixedPointProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(5)
+		m := mat.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			sum := 0.0
+			for j := range row {
+				row[j] = 0.05 + r.Float64() // strictly positive => ergodic
+				sum += row[j]
+			}
+			for j := range row {
+				m.Set(i, j, row[j]/sum)
+			}
+		}
+		c := MustNew(m)
+		pi, err := c.Stationary()
+		if err != nil {
+			return false
+		}
+		// Check π = πP.
+		next := m.VecMul(pi)
+		for i := range pi {
+			if math.Abs(next[i]-pi[i]) > 1e-8 {
+				return false
+			}
+		}
+		return math.Abs(pi.Sum()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmpiricalFrequenciesMatchStationary(t *testing.T) {
+	c, err := Sticky(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(99)
+	proc := c.Start(r, 0)
+	counts := make([]float64, 3)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[proc.Step()]++
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		got := counts[i] / n
+		if math.Abs(got-pi[i]) > 0.01 {
+			t.Fatalf("state %d frequency %g, stationary %g", i, got, pi[i])
+		}
+	}
+}
+
+func TestStickyProperties(t *testing.T) {
+	c, err := Sticky(4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Transition(2, 2); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("self-loop = %g, want 0.9", got)
+	}
+	if got := c.Transition(2, 0); math.Abs(got-0.1/3) > 1e-12 {
+		t.Fatalf("off-diagonal = %g", got)
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range pi {
+		if math.Abs(v-0.25) > 1e-9 {
+			t.Fatalf("sticky stationary not uniform: %v", pi)
+		}
+	}
+}
+
+func TestStickyValidation(t *testing.T) {
+	if _, err := Sticky(0, 0.5); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Sticky(3, 0); err == nil {
+		t.Fatal("switchProb=0 accepted")
+	}
+	if _, err := Sticky(3, 1); err == nil {
+		t.Fatal("switchProb=1 accepted")
+	}
+}
+
+func TestStickySingleState(t *testing.T) {
+	c, err := Sticky(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Transition(0, 0) != 1 {
+		t.Fatal("single state chain must self-loop")
+	}
+}
+
+func TestBirthDeath(t *testing.T) {
+	c, err := BirthDeath(3, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detailed balance: π_i * up = π_{i+1} * down => π geometric with ratio up/down.
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[1]/pi[0]-2) > 1e-9 || math.Abs(pi[2]/pi[1]-2) > 1e-9 {
+		t.Fatalf("birth-death stationary %v, want geometric ratio 2", pi)
+	}
+	if _, err := BirthDeath(3, 0.7, 0.7); err == nil {
+		t.Fatal("up+down>1 accepted")
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	c := twoState(0.5, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range start state accepted")
+		}
+	}()
+	c.Start(xrand.New(1), 5)
+}
+
+func TestStartStationary(t *testing.T) {
+	c := twoState(0.3, 0.1)
+	counts := [2]int{}
+	for i := 0; i < 20000; i++ {
+		p, err := c.StartStationary(xrand.New(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.State()]++
+	}
+	frac := float64(counts[1]) / 20000
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("stationary start frequency %g, want ~0.75", frac)
+	}
+}
+
+func TestProductEncodeDecodeRoundTrip(t *testing.T) {
+	a := twoState(0.5, 0.5)
+	b, err := Sticky(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProduct(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() != 6 {
+		t.Fatalf("NumStates = %d, want 6", p.NumStates())
+	}
+	for idx := 0; idx < 6; idx++ {
+		if got := p.Encode(p.Decode(idx)); got != idx {
+			t.Fatalf("round trip %d -> %v -> %d", idx, p.Decode(idx), got)
+		}
+	}
+}
+
+func TestProductStationary(t *testing.T) {
+	a := twoState(0.3, 0.1) // π = [0.25, 0.75]
+	b := twoState(0.2, 0.2) // π = [0.5, 0.5]
+	p, err := NewProduct(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := p.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.125, 0.125, 0.375, 0.375} // (a,b) lexicographic
+	for i := range want {
+		if math.Abs(pi[i]-want[i]) > 1e-9 {
+			t.Fatalf("product stationary %v, want %v", pi, want)
+		}
+	}
+	if math.Abs(pi.Sum()-1) > 1e-12 {
+		t.Fatalf("product stationary sums to %g", pi.Sum())
+	}
+}
+
+func TestProductTooLarge(t *testing.T) {
+	chains := make([]*Chain, 25)
+	for i := range chains {
+		chains[i] = twoState(0.5, 0.5)
+	}
+	if _, err := NewProduct(chains...); err == nil {
+		t.Fatal("oversized product accepted")
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	c, err := Sticky(3, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := c.Start(xrand.New(1), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func BenchmarkStationary10(b *testing.B) {
+	c, err := Sticky(10, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Stationary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

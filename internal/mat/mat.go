@@ -1,0 +1,299 @@
+// Package mat implements the small dense linear-algebra kernel shared by the
+// Markov-chain, LP and MDP packages: vectors, row-major matrices, and a
+// Gaussian-elimination solver with partial pivoting. The problem sizes in
+// this repository are tiny (tens to a few hundred unknowns), so clarity and
+// numerical robustness win over asymptotic cleverness.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product of v and w. It panics on length mismatch.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Sum returns the sum of the entries of v.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Scale multiplies every entry by a in place and returns v.
+func (v Vector) Scale(a float64) Vector {
+	for i := range v {
+		v[i] *= a
+	}
+	return v
+}
+
+// AddScaled adds a*w to v in place and returns v.
+func (v Vector) AddScaled(a float64, w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: AddScaled length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+	return v
+}
+
+// MaxAbs returns the largest absolute entry (0 for the empty vector).
+func (v Vector) MaxAbs() float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Normalize1 scales v so its entries sum to 1. It panics if the sum is not
+// positive, since callers use it to produce probability vectors.
+func (v Vector) Normalize1() Vector {
+	s := v.Sum()
+	if s <= 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("mat: Normalize1 with sum=%g", s))
+	}
+	return v.Scale(1 / s)
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero r-by-c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: NewMatrix(%d, %d)", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices, which must all share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: FromRows ragged row %d: %d vs %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns the (i, j) entry.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the (i, j) entry.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments the (i, j) entry by v.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns the i-th row as a vector sharing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns an independent copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m*v. It panics on dimension mismatch.
+func (m *Matrix) MulVec(v Vector) Vector {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec dims %dx%d vs %d", m.Rows, m.Cols, len(v)))
+	}
+	out := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Row(i).Dot(v)
+	}
+	return out
+}
+
+// VecMul returns vᵀ*m as a vector of length m.Cols.
+func (m *Matrix) VecMul(v Vector) Vector {
+	if len(v) != m.Rows {
+		panic(fmt.Sprintf("mat: VecMul dims %d vs %dx%d", len(v), m.Rows, m.Cols))
+	}
+	out := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j := range out {
+			out[j] += vi * row[j]
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m*n.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("mat: Mul dims %dx%d vs %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.Cols; j++ {
+				out.Add(i, j, a*n.At(k, j))
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%8.4f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Solve solves the square system a*x = b by Gaussian elimination with
+// partial pivoting. a and b are not modified. It returns ErrSingular when
+// no pivot exceeds the numerical tolerance.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("mat: Solve needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: Solve rhs length %d vs %d", len(b), n)
+	}
+	// Work on augmented copies.
+	aug := a.Clone()
+	rhs := b.Clone()
+
+	const tol = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot: the row with the largest |entry| in this column.
+		pivot := col
+		pivotVal := math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > pivotVal {
+				pivot, pivotVal = r, v
+			}
+		}
+		if pivotVal < tol {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				vi, vp := aug.At(col, j), aug.At(pivot, j)
+				aug.Set(col, j, vp)
+				aug.Set(pivot, j, vi)
+			}
+			rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		}
+		// Eliminate below.
+		inv := 1 / aug.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aug.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			aug.Set(r, col, 0)
+			for j := col + 1; j < n; j++ {
+				aug.Add(r, j, -f*aug.At(col, j))
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	// Back substitution.
+	x := NewVector(n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for j := i + 1; j < n; j++ {
+			s -= aug.At(i, j) * x[j]
+		}
+		x[i] = s / aug.At(i, i)
+	}
+	return x, nil
+}
+
+// Residual returns max_i |(a*x - b)_i|, a cheap solution-quality check.
+func Residual(a *Matrix, x, b Vector) float64 {
+	r := a.MulVec(x)
+	m := 0.0
+	for i := range r {
+		if d := math.Abs(r[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

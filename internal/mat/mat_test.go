@@ -1,0 +1,258 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rths/internal/xrand"
+)
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorSumScale(t *testing.T) {
+	v := Vector{1, 2, 3}
+	if got := v.Sum(); got != 6 {
+		t.Fatalf("Sum = %g", got)
+	}
+	v.Scale(2)
+	if v[2] != 6 {
+		t.Fatalf("Scale: %v", v)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	v := Vector{1, 1}
+	v.AddScaled(3, Vector{2, -1})
+	if v[0] != 7 || v[1] != -2 {
+		t.Fatalf("AddScaled: %v", v)
+	}
+}
+
+func TestNormalize1(t *testing.T) {
+	v := Vector{2, 6}.Normalize1()
+	if math.Abs(v[0]-0.25) > 1e-15 || math.Abs(v[1]-0.75) > 1e-15 {
+		t.Fatalf("Normalize1: %v", v)
+	}
+}
+
+func TestNormalize1PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vector{0, 0}.Normalize1()
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := (Vector{-5, 3}).MaxAbs(); got != 5 {
+		t.Fatalf("MaxAbs = %g", got)
+	}
+	if got := (Vector{}).MaxAbs(); got != 0 {
+		t.Fatalf("MaxAbs empty = %g", got)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 1)
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At = %g", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 6 {
+		t.Fatalf("Row = %v", row)
+	}
+	// Row shares storage.
+	row[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must alias matrix storage")
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(3)
+	v := Vector{1, 2, 3}
+	got := id.MulVec(v)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("I*v = %v", got)
+		}
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestVecMulAgainstTransposeMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := Vector{7, 9}
+	got := a.VecMul(v)
+	want := a.Transpose().MulVec(v)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("VecMul = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("Transpose: %v", at)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := Vector{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vector{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("Solve = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	_, err := Solve(a, Vector{1, 2})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Solve(a, Vector{1, 2}); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestSolveRhsMismatch(t *testing.T) {
+	a := Identity(3)
+	if _, err := Solve(a, Vector{1, 2}); err == nil {
+		t.Fatal("expected error for rhs length mismatch")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{3, 1}, {1, 2}})
+	b := Vector{9, 8}
+	aCopy := a.Clone()
+	bCopy := b.Clone()
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != aCopy.Data[i] {
+			t.Fatal("Solve mutated the matrix")
+		}
+	}
+	for i := range b {
+		if b[i] != bCopy[i] {
+			t.Fatal("Solve mutated the rhs")
+		}
+	}
+}
+
+func TestSolvePivotingRequired(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, Vector{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-4) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("Solve = %v", x)
+	}
+}
+
+// Property: for random well-conditioned systems, Solve produces a small
+// residual.
+func TestSolvePropertyResidual(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.Float64()*2-1)
+			}
+			// Diagonal dominance keeps the system well conditioned.
+			a.Add(i, i, float64(n))
+		}
+		b := NewVector(n)
+		for i := range b {
+			b[i] = r.Float64()*10 - 5
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return Residual(a, x, b) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolve20(b *testing.B) {
+	r := xrand.New(1)
+	n := 20
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, r.Float64())
+		}
+		a.Add(i, i, float64(n))
+	}
+	rhs := NewVector(n)
+	for i := range rhs {
+		rhs[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

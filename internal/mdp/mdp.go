@@ -1,0 +1,376 @@
+// Package mdp implements the paper's centralized benchmark (§IV.A): helper
+// selection as a cooperative optimization over occupation measures. The
+// joint helper-bandwidth state y follows the product of the independent
+// per-helper Markov chains; a centralized controller picks the assignment
+// x of peers to helpers; and the linear program
+//
+//	max  Σ_y Σ_x u(y,x)·ρ(y,x)
+//	s.t. Σ_x ρ(y,x) = π(y)   for every y      (chain is exogenous)
+//	     ρ(y,x) >= 0
+//
+// maximizes long-run average social welfare (the paper's Σ_y Σ_x constraint
+// "Σρ = 1" is implied by the first family since Σ_y π(y) = 1 and is
+// therefore omitted). Because the controller's choice does not influence
+// the chain, the LP decomposes per state, and with the paper's utilities
+// u_i = C_j/n_j the per-state optimum has the closed form "sum of the
+// min(N,H) largest capacities". The package provides all three routes —
+// exact LP (tiny instances), closed form, and relative value iteration —
+// and the tests verify they agree, which is the license to use the closed
+// form at Fig-2 scale where the LP's H^N assignment space is intractable.
+package mdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rths/internal/lp"
+	"rths/internal/markov"
+	"rths/internal/mat"
+)
+
+// HelperModel is one helper's bandwidth process for the benchmark.
+type HelperModel struct {
+	chain  *markov.Chain
+	levels []float64
+}
+
+// NewHelperModel builds a sticky-chain helper over the given levels.
+func NewHelperModel(levels []float64, switchProb float64) (HelperModel, error) {
+	if len(levels) == 0 {
+		return HelperModel{}, errors.New("mdp: no levels")
+	}
+	for _, lv := range levels {
+		if lv <= 0 || math.IsNaN(lv) {
+			return HelperModel{}, fmt.Errorf("mdp: invalid level %g", lv)
+		}
+	}
+	var (
+		chain *markov.Chain
+		err   error
+	)
+	if len(levels) == 1 {
+		chain, err = markov.Sticky(1, 0.5)
+	} else {
+		chain, err = markov.Sticky(len(levels), switchProb)
+	}
+	if err != nil {
+		return HelperModel{}, err
+	}
+	return HelperModel{chain: chain, levels: append([]float64(nil), levels...)}, nil
+}
+
+// NewHelperModelChain builds a helper from an explicit chain whose states
+// map to the given levels.
+func NewHelperModelChain(chain *markov.Chain, levels []float64) (HelperModel, error) {
+	if chain == nil {
+		return HelperModel{}, errors.New("mdp: nil chain")
+	}
+	if chain.NumStates() != len(levels) {
+		return HelperModel{}, fmt.Errorf("mdp: %d states vs %d levels", chain.NumStates(), len(levels))
+	}
+	return HelperModel{chain: chain, levels: append([]float64(nil), levels...)}, nil
+}
+
+// Benchmark is the centralized-optimum computation for a population.
+type Benchmark struct {
+	numPeers int
+	models   []HelperModel
+	product  *markov.Product
+}
+
+// NewBenchmark assembles the benchmark. The product state space must stay
+// enumerable (markov.NewProduct enforces a hard cap).
+func NewBenchmark(numPeers int, models []HelperModel) (*Benchmark, error) {
+	if numPeers <= 0 {
+		return nil, fmt.Errorf("mdp: numPeers=%d", numPeers)
+	}
+	if len(models) == 0 {
+		return nil, errors.New("mdp: no helper models")
+	}
+	chains := make([]*markov.Chain, len(models))
+	for i, m := range models {
+		if m.chain == nil {
+			return nil, fmt.Errorf("mdp: helper model %d uninitialized", i)
+		}
+		chains[i] = m.chain
+	}
+	product, err := markov.NewProduct(chains...)
+	if err != nil {
+		return nil, err
+	}
+	return &Benchmark{numPeers: numPeers, models: models, product: product}, nil
+}
+
+// capacities maps a joint state index to the per-helper capacities.
+func (b *Benchmark) capacities(stateIdx int) []float64 {
+	states := b.product.Decode(stateIdx)
+	caps := make([]float64, len(b.models))
+	for j, s := range states {
+		caps[j] = b.models[j].levels[s]
+	}
+	return caps
+}
+
+// optWelfare is the per-state optimum: sum of the min(N,H) largest
+// capacities (every occupied helper contributes its full capacity).
+func optWelfare(caps []float64, numPeers int) float64 {
+	if numPeers >= len(caps) {
+		sum := 0.0
+		for _, c := range caps {
+			sum += c
+		}
+		return sum
+	}
+	sorted := append([]float64(nil), caps...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	sum := 0.0
+	for _, c := range sorted[:numPeers] {
+		sum += c
+	}
+	return sum
+}
+
+// ExpectedOptimum returns the long-run average welfare of the optimal
+// centralized policy via the closed form: E_π[ optWelfare(C(y), N) ].
+func (b *Benchmark) ExpectedOptimum() (float64, error) {
+	pi, err := b.product.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for y := 0; y < b.product.NumStates(); y++ {
+		if pi[y] == 0 {
+			continue
+		}
+		total += pi[y] * optWelfare(b.capacities(y), b.numPeers)
+	}
+	return total, nil
+}
+
+// ExpectedTotalCapacity returns Σ_j E_π[C_j], which equals ExpectedOptimum
+// whenever N >= H (all helpers occupied at the optimum).
+func (b *Benchmark) ExpectedTotalCapacity() (float64, error) {
+	total := 0.0
+	for j, m := range b.models {
+		pi, err := m.chain.Stationary()
+		if err != nil {
+			return 0, fmt.Errorf("mdp: helper %d stationary: %w", j, err)
+		}
+		for s, p := range pi {
+			total += p * m.levels[s]
+		}
+	}
+	return total, nil
+}
+
+// LPResult is the solved occupation-measure program.
+type LPResult struct {
+	// Optimum is the maximal long-run average welfare.
+	Optimum float64
+	// Rho[y][x] is the optimal occupation measure over (state, assignment).
+	Rho [][]float64
+	// NumStates and NumAssignments record the problem dimensions.
+	NumStates, NumAssignments int
+}
+
+// Policy returns the conditional assignment distribution s(x|y) for state
+// y, or nil when π(y) = 0 (state never visited).
+func (r *LPResult) Policy(y int) []float64 {
+	row := r.Rho[y]
+	total := 0.0
+	for _, v := range row {
+		total += v
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make([]float64, len(row))
+	for x, v := range row {
+		out[x] = v / total
+	}
+	return out
+}
+
+// maxLPCells bounds |Y|·|X| for the exact LP; beyond this the dense
+// tableau is impractical and callers should use ExpectedOptimum.
+const maxLPCells = 60000
+
+// SolveLP solves the occupation-measure LP exactly. It is intended for
+// tiny instances (tests and the per-experiment license check); it returns
+// an error when |Y|·|X| exceeds maxLPCells.
+func (b *Benchmark) SolveLP() (*LPResult, error) {
+	numY := b.product.NumStates()
+	numX := intPow(len(b.models), b.numPeers)
+	if numX <= 0 || numY*numX > maxLPCells {
+		return nil, fmt.Errorf("mdp: LP with %d states × %d assignments exceeds the exact-solver budget", numY, numX)
+	}
+	pi, err := b.product.Stationary()
+	if err != nil {
+		return nil, err
+	}
+
+	// Variables: ρ(y,x) flattened as y*numX + x.
+	nVars := numY * numX
+	obj := make([]float64, nVars)
+	welfare := make([]float64, numX) // reused per y via capacity lookup
+	for y := 0; y < numY; y++ {
+		caps := b.capacities(y)
+		assignmentWelfares(caps, b.numPeers, welfare)
+		for x := 0; x < numX; x++ {
+			obj[y*numX+x] = welfare[x]
+		}
+	}
+	prob := lp.NewProblem(lp.Maximize, obj)
+	for y := 0; y < numY; y++ {
+		row := make([]float64, nVars)
+		for x := 0; x < numX; x++ {
+			row[y*numX+x] = 1
+		}
+		prob.AddConstraint(row, lp.EQ, pi[y])
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("mdp: occupation LP: %w", err)
+	}
+	rho := make([][]float64, numY)
+	for y := 0; y < numY; y++ {
+		rho[y] = append([]float64(nil), sol.X[y*numX:(y+1)*numX]...)
+	}
+	return &LPResult{
+		Optimum:        sol.Objective,
+		Rho:            rho,
+		NumStates:      numY,
+		NumAssignments: numX,
+	}, nil
+}
+
+// assignmentWelfares fills out[x] with the social welfare of assignment x
+// (mixed-radix encoding of peer -> helper) under the given capacities.
+func assignmentWelfares(caps []float64, numPeers int, out []float64) {
+	h := len(caps)
+	numX := len(out)
+	occupied := make([]bool, h)
+	assignment := make([]int, numPeers)
+	for x := 0; x < numX; x++ {
+		decodeAssignment(x, h, assignment)
+		for j := range occupied {
+			occupied[j] = false
+		}
+		w := 0.0
+		for _, j := range assignment {
+			if !occupied[j] {
+				occupied[j] = true
+				w += caps[j]
+			}
+		}
+		out[x] = w
+	}
+}
+
+// decodeAssignment unpacks x into per-peer helper choices (mixed radix h).
+func decodeAssignment(x, h int, out []int) {
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = x % h
+		x /= h
+	}
+}
+
+func intPow(base, exp int) int {
+	result := 1
+	for i := 0; i < exp; i++ {
+		if result > maxLPCells {
+			return maxLPCells + 1 // saturate: caller rejects anyway
+		}
+		result *= base
+	}
+	return result
+}
+
+// GainRVI estimates the optimal long-run average welfare by relative value
+// iteration on the product chain with per-state reward r(y) =
+// optWelfare(C(y), N) (valid because assignments do not affect
+// transitions, so the optimal action is myopic per state). It serves as an
+// independent numerical cross-check of ExpectedOptimum and the LP.
+func (b *Benchmark) GainRVI(iterations int, tol float64) (float64, error) {
+	if iterations <= 0 {
+		return 0, fmt.Errorf("mdp: GainRVI iterations=%d", iterations)
+	}
+	numY := b.product.NumStates()
+	reward := make([]float64, numY)
+	for y := 0; y < numY; y++ {
+		reward[y] = optWelfare(b.capacities(y), b.numPeers)
+	}
+	// Build the product transition matrix row by row on the fly.
+	trans, err := b.productTransition()
+	if err != nil {
+		return 0, err
+	}
+	h := mat.NewVector(numY)
+	gain := 0.0
+	for it := 0; it < iterations; it++ {
+		next := mat.NewVector(numY)
+		for y := 0; y < numY; y++ {
+			exp := 0.0
+			row := trans.Row(y)
+			for yn, p := range row {
+				if p != 0 {
+					exp += p * h[yn]
+				}
+			}
+			next[y] = reward[y] + exp
+		}
+		newGain := next[0] - h[0]
+		span := 0.0
+		for y := 0; y < numY; y++ {
+			d := next[y] - h[y]
+			if d-newGain > span {
+				span = d - newGain
+			}
+			if newGain-d > span {
+				span = newGain - d
+			}
+		}
+		// Normalize to keep h bounded.
+		shift := next[0]
+		for y := 0; y < numY; y++ {
+			next[y] -= shift
+		}
+		h = next
+		gain = newGain
+		if span < tol {
+			return gain, nil
+		}
+	}
+	return gain, nil
+}
+
+// productTransition materializes the joint transition matrix of the
+// independent helper chains.
+func (b *Benchmark) productTransition() (*mat.Matrix, error) {
+	numY := b.product.NumStates()
+	t := mat.NewMatrix(numY, numY)
+	for y := 0; y < numY; y++ {
+		from := b.product.Decode(y)
+		// Enumerate successor joint states with product probabilities.
+		var rec func(j int, prob float64, to []int)
+		to := make([]int, len(b.models))
+		rec = func(j int, prob float64, to []int) {
+			if prob == 0 {
+				return
+			}
+			if j == len(b.models) {
+				t.Add(y, b.product.Encode(to), prob)
+				return
+			}
+			c := b.models[j].chain
+			for s := 0; s < c.NumStates(); s++ {
+				to[j] = s
+				rec(j+1, prob*c.Transition(from[j], s), to)
+			}
+		}
+		rec(0, 1, to)
+	}
+	return t, nil
+}

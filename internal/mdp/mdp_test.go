@@ -1,0 +1,261 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rths/internal/xrand"
+)
+
+func mustModel(t *testing.T, levels []float64, switchProb float64) HelperModel {
+	t.Helper()
+	m, err := NewHelperModel(levels, switchProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := NewHelperModel(nil, 0.1); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+	if _, err := NewHelperModel([]float64{-1}, 0.1); err == nil {
+		t.Fatal("negative level accepted")
+	}
+	if _, err := NewHelperModel([]float64{math.NaN()}, 0.1); err == nil {
+		t.Fatal("NaN level accepted")
+	}
+}
+
+func TestBenchmarkValidation(t *testing.T) {
+	m := mustModel(t, []float64{700, 900}, 0.1)
+	if _, err := NewBenchmark(0, []HelperModel{m}); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+	if _, err := NewBenchmark(2, nil); err == nil {
+		t.Fatal("no models accepted")
+	}
+	if _, err := NewBenchmark(2, []HelperModel{{}}); err == nil {
+		t.Fatal("uninitialized model accepted")
+	}
+}
+
+func TestExpectedOptimumTwoHelpers(t *testing.T) {
+	// Sticky chains have uniform stationaries, so E[C] = mean(levels).
+	// With N >= H the optimum is Σ_j E[C_j] = 800 + 600 = 1400.
+	models := []HelperModel{
+		mustModel(t, []float64{700, 900}, 0.2),
+		mustModel(t, []float64{500, 700}, 0.2),
+	}
+	b, err := NewBenchmark(3, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ExpectedOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1400) > 1e-9 {
+		t.Fatalf("ExpectedOptimum = %g, want 1400", got)
+	}
+	cap, err := b.ExpectedTotalCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cap-got) > 1e-9 {
+		t.Fatalf("N>=H: total capacity %g must equal optimum %g", cap, got)
+	}
+}
+
+func TestExpectedOptimumFewerPeersThanHelpers(t *testing.T) {
+	// One peer, two helpers: optimum covers only the better helper per
+	// state: E[max(C1, C2)].
+	models := []HelperModel{
+		mustModel(t, []float64{700, 900}, 0.5),
+		mustModel(t, []float64{600, 800}, 0.5),
+	}
+	b, err := NewBenchmark(1, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ExpectedOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform over 4 joint states: max of (700,600),(700,800),(900,600),(900,800)
+	want := (700.0 + 800 + 900 + 900) / 4
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExpectedOptimum = %g, want %g", got, want)
+	}
+}
+
+func TestLPMatchesClosedFormSmall(t *testing.T) {
+	models := []HelperModel{
+		mustModel(t, []float64{700, 900}, 0.3),
+		mustModel(t, []float64{800, 850}, 0.3),
+	}
+	b, err := NewBenchmark(3, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := b.ExpectedOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Optimum-closed) > 1e-6 {
+		t.Fatalf("LP optimum %g vs closed form %g", res.Optimum, closed)
+	}
+	if res.NumStates != 4 || res.NumAssignments != 8 {
+		t.Fatalf("dims %d×%d", res.NumStates, res.NumAssignments)
+	}
+	// Occupation measure sums to 1 and per-state policies are distributions
+	// that cover every helper (N >= H at the optimum).
+	total := 0.0
+	for y := 0; y < res.NumStates; y++ {
+		for _, v := range res.Rho[y] {
+			if v < -1e-9 {
+				t.Fatalf("negative occupation %g", v)
+			}
+			total += v
+		}
+		pol := res.Policy(y)
+		if pol == nil {
+			t.Fatalf("state %d has no policy", y)
+		}
+		polSum := 0.0
+		assignment := make([]int, 3)
+		for x, p := range pol {
+			polSum += p
+			if p > 1e-9 {
+				decodeAssignment(x, 2, assignment)
+				used := map[int]bool{}
+				for _, j := range assignment {
+					used[j] = true
+				}
+				if len(used) != 2 {
+					t.Fatalf("optimal policy leaves a helper empty: state %d assignment %v", y, assignment)
+				}
+			}
+		}
+		if math.Abs(polSum-1) > 1e-6 {
+			t.Fatalf("policy for state %d sums to %g", y, polSum)
+		}
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("occupation total = %g", total)
+	}
+}
+
+// Property: LP and closed form agree on random tiny instances.
+func TestLPClosedFormProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		h := 2 + r.Intn(2) // 2..3 helpers
+		n := 1 + r.Intn(3) // 1..3 peers (covers N < H and N >= H)
+		models := make([]HelperModel, h)
+		for j := range models {
+			nl := 1 + r.Intn(2)
+			levels := make([]float64, nl)
+			for s := range levels {
+				levels[s] = 100 + r.Float64()*900
+			}
+			m, err := NewHelperModel(levels, 0.1+0.5*r.Float64())
+			if err != nil {
+				return false
+			}
+			models[j] = m
+		}
+		b, err := NewBenchmark(n, models)
+		if err != nil {
+			return false
+		}
+		closed, err := b.ExpectedOptimum()
+		if err != nil {
+			return false
+		}
+		res, err := b.SolveLP()
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Optimum-closed) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLPRejectsLargeInstances(t *testing.T) {
+	models := make([]HelperModel, 4)
+	for j := range models {
+		models[j] = mustModel(t, []float64{700, 800, 900}, 0.1)
+	}
+	b, err := NewBenchmark(10, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SolveLP(); err == nil {
+		t.Fatal("oversized LP accepted")
+	}
+	// But the closed form still works at Fig-2 scale.
+	opt, err := b.ExpectedOptimum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-4*800) > 1e-9 {
+		t.Fatalf("Fig-2 scale optimum = %g, want 3200", opt)
+	}
+}
+
+func TestGainRVIMatchesClosedForm(t *testing.T) {
+	models := []HelperModel{
+		mustModel(t, []float64{700, 900}, 0.2),
+		mustModel(t, []float64{500, 800}, 0.4),
+	}
+	for _, n := range []int{1, 2, 4} {
+		b, err := NewBenchmark(n, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed, err := b.ExpectedOptimum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain, err := b.GainRVI(10000, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gain-closed) > 1e-6 {
+			t.Fatalf("N=%d: RVI gain %g vs closed form %g", n, gain, closed)
+		}
+	}
+	if _, err := (&Benchmark{}).GainRVI(0, 1e-9); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestDecodeAssignmentRoundTrip(t *testing.T) {
+	out := make([]int, 3)
+	decodeAssignment(2*9+1*3+2, 3, out) // digits (2,1,2) base 3
+	if out[0] != 2 || out[1] != 1 || out[2] != 2 {
+		t.Fatalf("decodeAssignment = %v", out)
+	}
+}
+
+func TestNewHelperModelChainValidation(t *testing.T) {
+	m := mustModel(t, []float64{1, 2}, 0.2)
+	if _, err := NewHelperModelChain(nil, []float64{1}); err == nil {
+		t.Fatal("nil chain accepted")
+	}
+	if _, err := NewHelperModelChain(m.chain, []float64{1}); err == nil {
+		t.Fatal("mismatched levels accepted")
+	}
+	if _, err := NewHelperModelChain(m.chain, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}

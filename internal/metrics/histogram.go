@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram collects samples for quantile queries — the distributional
+// readout the QoE analyses use (e.g. continuity percentiles across
+// viewers). Samples are retained; intended for per-run populations, not
+// unbounded streams.
+type Histogram struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add ingests one sample.
+func (h *Histogram) Add(x float64) {
+	h.xs = append(h.xs, x)
+	h.sorted = false
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return len(h.xs) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) with linear interpolation
+// between order statistics. It errors on an empty histogram or q outside
+// [0, 1].
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if len(h.xs) == 0 {
+		return 0, fmt.Errorf("metrics: quantile of empty histogram")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("metrics: quantile %g outside [0,1]", q)
+	}
+	if !h.sorted {
+		sort.Float64s(h.xs)
+		h.sorted = true
+	}
+	if len(h.xs) == 1 {
+		return h.xs[0], nil
+	}
+	pos := q * float64(len(h.xs)-1)
+	lo := int(pos)
+	if lo == len(h.xs)-1 {
+		return h.xs[lo], nil
+	}
+	frac := pos - float64(lo)
+	return h.xs[lo]*(1-frac) + h.xs[lo+1]*frac, nil
+}
+
+// Summary returns (p10, p50, p90); it panics only on internal misuse and
+// errors on an empty histogram.
+func (h *Histogram) Summary() (p10, p50, p90 float64, err error) {
+	if p10, err = h.Quantile(0.10); err != nil {
+		return 0, 0, 0, err
+	}
+	if p50, err = h.Quantile(0.50); err != nil {
+		return 0, 0, 0, err
+	}
+	if p90, err = h.Quantile(0.90); err != nil {
+		return 0, 0, 0, err
+	}
+	return p10, p50, p90, nil
+}
+
+// Buckets returns counts over n equal-width buckets spanning [min, max] —
+// a printable shape of the distribution. It errors on an empty histogram
+// or n <= 0.
+func (h *Histogram) Buckets(n int) ([]int, float64, float64, error) {
+	if len(h.xs) == 0 || n <= 0 {
+		return nil, 0, 0, fmt.Errorf("metrics: Buckets(n=%d) with %d samples", n, len(h.xs))
+	}
+	if !h.sorted {
+		sort.Float64s(h.xs)
+		h.sorted = true
+	}
+	lo, hi := h.xs[0], h.xs[len(h.xs)-1]
+	counts := make([]int, n)
+	if hi == lo {
+		counts[0] = len(h.xs)
+		return counts, lo, hi, nil
+	}
+	for _, x := range h.xs {
+		b := int(float64(n) * (x - lo) / (hi - lo))
+		if b == n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts, lo, hi, nil
+}

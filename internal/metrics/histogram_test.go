@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rths/internal/xrand"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	q50, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q50-50.5) > 1e-9 {
+		t.Fatalf("median = %g, want 50.5", q50)
+	}
+	q0, _ := h.Quantile(0)
+	q1, _ := h.Quantile(1)
+	if q0 != 1 || q1 != 100 {
+		t.Fatalf("extremes = %g, %g", q0, q1)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	var h Histogram
+	if _, err := h.Quantile(0.5); err == nil {
+		t.Fatal("empty quantile accepted")
+	}
+	h.Add(1)
+	if _, err := h.Quantile(-0.1); err == nil {
+		t.Fatal("negative q accepted")
+	}
+	if _, err := h.Quantile(1.1); err == nil {
+		t.Fatal("q>1 accepted")
+	}
+	if _, _, _, err := h.Buckets(0); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Add(7)
+	for _, q := range []float64{0, 0.5, 1} {
+		v, err := h.Quantile(q)
+		if err != nil || v != 7 {
+			t.Fatalf("Quantile(%g) = %g, %v", q, v, err)
+		}
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	for i := 0; i <= 10; i++ {
+		h.Add(float64(i))
+	}
+	p10, p50, p90, err := h.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p10 != 1 || p50 != 5 || p90 != 9 {
+		t.Fatalf("summary = %g %g %g", p10, p50, p90)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i))
+	}
+	counts, lo, hi, err := h.Buckets(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi != 9 {
+		t.Fatalf("range %g..%g", lo, hi)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("bucket counts %v", counts)
+	}
+	// Identical samples collapse into the first bucket.
+	var same Histogram
+	same.Add(3)
+	same.Add(3)
+	counts, _, _, err = same.Buckets(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 {
+		t.Fatalf("degenerate buckets %v", counts)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by the sample range.
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		var h Histogram
+		n := 1 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			h.Add(r.Float64()*200 - 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := h.Quantile(q)
+			if err != nil || v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		min, _ := h.Quantile(0)
+		max, _ := h.Quantile(1)
+		return prev <= max+1e-12 && min <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

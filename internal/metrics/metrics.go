@@ -1,0 +1,219 @@
+// Package metrics provides the measurement side of the reproduction:
+// streaming statistics (Welford), time series with windowed summaries,
+// Jain's fairness index, load-balance measures, a convergence detector,
+// and — central to Fig. 1 — the clairvoyant regret audit that computes each
+// peer's true time-averaged conditional regret from the global stage view.
+// The audit is evaluation-only: the learning policies themselves never see
+// the quantities it uses.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Welford accumulates mean and variance in a single pass.
+type Welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add ingests one observation.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 before any observation).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 before any observation).
+func (w *Welford) Max() float64 { return w.max }
+
+// Jain returns Jain's fairness index (Σx)² / (n·Σx²) ∈ (0, 1]; 1 means
+// perfectly equal allocation. Returns 1 for empty or all-zero input (an
+// empty allocation is vacuously fair).
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum, sq := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// BalanceCV returns the coefficient of variation (std/mean) of the values —
+// the load-balance measure for Fig. 3 (0 = perfectly even). Returns 0 for
+// fewer than two values or zero mean.
+func BalanceCV(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.Mean() == 0 {
+		return 0
+	}
+	return w.Std() / w.Mean()
+}
+
+// IntsToFloats widens an int slice (e.g. helper loads) for the float-based
+// aggregates.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Series is an append-only time series of float64 samples.
+type Series struct {
+	name string
+	xs   []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append adds a sample.
+func (s *Series) Append(x float64) { s.xs = append(s.xs, x) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.xs) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) float64 { return s.xs[i] }
+
+// Values returns a copy of all samples.
+func (s *Series) Values() []float64 { return append([]float64(nil), s.xs...) }
+
+// TailMean returns the mean of the last k samples (all if k >= Len).
+func (s *Series) TailMean(k int) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if k > len(s.xs) {
+		k = len(s.xs)
+	}
+	sum := 0.0
+	for _, x := range s.xs[len(s.xs)-k:] {
+		sum += x
+	}
+	return sum / float64(k)
+}
+
+// Downsample returns up to points (stage, mean-over-bucket) pairs covering
+// the series — the shape that gets printed for each figure.
+func (s *Series) Downsample(points int) [][2]float64 {
+	n := len(s.xs)
+	if n == 0 || points <= 0 {
+		return nil
+	}
+	if points > n {
+		points = n
+	}
+	out := make([][2]float64, 0, points)
+	for b := 0; b < points; b++ {
+		lo := b * n / points
+		hi := (b + 1) * n / points
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, x := range s.xs[lo:hi] {
+			sum += x
+		}
+		out = append(out, [2]float64{float64(hi - 1), sum / float64(hi-lo)})
+	}
+	return out
+}
+
+// ConvergedAt returns the first index i such that every sample from i on
+// stays within [target-tol, target+tol], or -1 if the series never settles.
+func (s *Series) ConvergedAt(target, tol float64) int {
+	last := -1
+	for i, x := range s.xs {
+		if math.Abs(x-target) > tol {
+			last = i
+		}
+	}
+	if last == len(s.xs)-1 {
+		return -1
+	}
+	return last + 1
+}
+
+// CSV renders one or more series of equal length as comma-separated rows
+// with a header; the first column is the sample index.
+func CSV(series ...*Series) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("metrics: CSV with no series")
+	}
+	n := series[0].Len()
+	for _, s := range series[1:] {
+		if s.Len() != n {
+			return "", fmt.Errorf("metrics: CSV length mismatch: %q has %d, %q has %d",
+				series[0].name, n, s.name, s.Len())
+		}
+	}
+	var b strings.Builder
+	b.WriteString("stage")
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.name)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		b.WriteString(strconv.Itoa(i))
+		for _, s := range series {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(s.xs[i], 'g', 8, 64))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,303 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rths/internal/xrand"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %g", w.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %g", w.Var())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 {
+		t.Fatal("empty Welford not zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Var() != 0 {
+		t.Fatalf("single-sample mean/var = %g/%g", w.Mean(), w.Var())
+	}
+}
+
+// Property: Welford matches the two-pass computation.
+func TestWelfordProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+			w.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for _, x := range xs {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= float64(n - 1)
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Var()-variance) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal allocation Jain = %g", got)
+	}
+	// One user hogging everything: index = 1/n.
+	if got := Jain([]float64{12, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("monopolized Jain = %g", got)
+	}
+	if got := Jain(nil); got != 1 {
+		t.Fatalf("empty Jain = %g", got)
+	}
+	if got := Jain([]float64{0, 0}); got != 1 {
+		t.Fatalf("all-zero Jain = %g", got)
+	}
+}
+
+// Property: Jain ∈ [1/n, 1] for positive allocations.
+func TestJainBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.01 + r.Float64()*10
+		}
+		j := Jain(xs)
+		return j >= 1/float64(n)-1e-12 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceCV(t *testing.T) {
+	if got := BalanceCV([]float64{3, 3, 3}); got != 0 {
+		t.Fatalf("even CV = %g", got)
+	}
+	if got := BalanceCV([]float64{1}); got != 0 {
+		t.Fatalf("singleton CV = %g", got)
+	}
+	uneven := BalanceCV([]float64{1, 9})
+	if uneven <= 0.5 {
+		t.Fatalf("uneven CV = %g, want > 0.5", uneven)
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	got := IntsToFloats([]int{1, 2, 3})
+	if len(got) != 3 || got[2] != 3.0 {
+		t.Fatalf("IntsToFloats = %v", got)
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("welfare")
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i))
+	}
+	if s.Len() != 10 || s.At(3) != 3 || s.Name() != "welfare" {
+		t.Fatal("series accessors broken")
+	}
+	if got := s.TailMean(4); math.Abs(got-7.5) > 1e-12 {
+		t.Fatalf("TailMean = %g", got)
+	}
+	if got := s.TailMean(100); math.Abs(got-4.5) > 1e-12 {
+		t.Fatalf("TailMean(all) = %g", got)
+	}
+	vals := s.Values()
+	vals[0] = 99
+	if s.At(0) == 99 {
+		t.Fatal("Values must copy")
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 100; i++ {
+		s.Append(float64(i))
+	}
+	pts := s.Downsample(10)
+	if len(pts) != 10 {
+		t.Fatalf("Downsample returned %d points", len(pts))
+	}
+	// First bucket covers samples 0..9 -> mean 4.5, index 9.
+	if pts[0][0] != 9 || math.Abs(pts[0][1]-4.5) > 1e-12 {
+		t.Fatalf("first bucket = %v", pts[0])
+	}
+	if got := s.Downsample(0); got != nil {
+		t.Fatal("Downsample(0) should be nil")
+	}
+	if got := NewSeries("e").Downsample(5); got != nil {
+		t.Fatal("empty Downsample should be nil")
+	}
+	// More points than samples degrades to per-sample.
+	short := NewSeries("s")
+	short.Append(1)
+	short.Append(2)
+	if got := short.Downsample(10); len(got) != 2 {
+		t.Fatalf("short Downsample = %v", got)
+	}
+}
+
+func TestConvergedAt(t *testing.T) {
+	s := NewSeries("r")
+	for _, v := range []float64{5, 3, 1, 0.4, 0.1, 0.05, 0.08, 0.02} {
+		s.Append(v)
+	}
+	if got := s.ConvergedAt(0, 0.15); got != 4 {
+		t.Fatalf("ConvergedAt = %d, want 4", got)
+	}
+	if got := s.ConvergedAt(0, 0.001); got != -1 {
+		t.Fatalf("never-converging series returned %d", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a, b := NewSeries("a"), NewSeries("b")
+	a.Append(1)
+	a.Append(2)
+	b.Append(3)
+	b.Append(4)
+	out, err := CSV(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "stage,a,b" || len(lines) != 3 {
+		t.Fatalf("CSV = %q", out)
+	}
+	if !strings.HasPrefix(lines[1], "0,1,3") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// Mismatched lengths must error.
+	b.Append(5)
+	if _, err := CSV(a, b); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := CSV(); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+}
+
+func TestRegretAuditValidation(t *testing.T) {
+	if _, err := NewRegretAudit(0, 2); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+	a, err := NewRegretAudit(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe([]int{0}, []int{1, 1}, []float64{800, 800}); err == nil {
+		t.Fatal("wrong action count accepted")
+	}
+	if err := a.Observe([]int{0, 1}, []int{1}, []float64{800}); err == nil {
+		t.Fatal("wrong load count accepted")
+	}
+	if err := a.Observe([]int{0, 5}, []int{1, 1}, []float64{800, 800}); err == nil {
+		t.Fatal("out-of-range action accepted")
+	}
+}
+
+func TestRegretAuditBalancedPlayHasNoRegret(t *testing.T) {
+	// Two peers, two equal helpers, one peer each: switching would halve
+	// the rate, so regret is zero.
+	a, err := NewRegretAudit(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 100; s++ {
+		if err := a.Observe([]int{0, 1}, []int{1, 1}, []float64{800, 800}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.WorstRegret(); got != 0 {
+		t.Fatalf("balanced play regret = %g", got)
+	}
+	if !a.EpsilonCE(0) {
+		t.Fatal("balanced play should be an exact CE")
+	}
+}
+
+func TestRegretAuditDetectsBadAssignment(t *testing.T) {
+	// Both peers pile onto helper 0 (400 each) while helper 1 (900) idles:
+	// each regrets not playing 1 by 900 - 400 = 500.
+	a, err := NewRegretAudit(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 10; s++ {
+		if err := a.Observe([]int{0, 0}, []int{2, 0}, []float64{800, 900}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.WorstRegret(); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("WorstRegret = %g, want 500", got)
+	}
+	if got := a.Regret(0, 0, 1); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("Regret(0,0,1) = %g", got)
+	}
+	if got := a.MeanRegret(); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("MeanRegret = %g", got)
+	}
+	if a.EpsilonCE(100) {
+		t.Fatal("bad assignment accepted as 100-CE")
+	}
+	if err := a.NaNGuard(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stages() != 10 {
+		t.Fatalf("Stages = %d", a.Stages())
+	}
+}
+
+func TestRegretAuditAveragesOverTime(t *testing.T) {
+	// One bad stage diluted by many good ones: the time average shrinks.
+	a, err := NewRegretAudit(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe([]int{0, 0}, []int{2, 0}, []float64{800, 900}); err != nil {
+		t.Fatal(err)
+	}
+	first := a.WorstRegret()
+	for s := 0; s < 99; s++ {
+		if err := a.Observe([]int{0, 1}, []int{1, 1}, []float64{800, 900}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.WorstRegret(); got >= first/50 {
+		t.Fatalf("regret did not dilute: first %g, now %g", first, got)
+	}
+}

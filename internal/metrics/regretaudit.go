@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// RegretAudit computes the true (clairvoyant) conditional regrets of every
+// peer from the global stage view: for peer i and helper pair (j,k), the
+// time average of 1{a_i=j}·(u_i(k, a_-i) − u_i(j, a_-i)), where the
+// counterfactual utility u_i(k, a_-i) = C_k/(n_k+1) is computable because
+// the audit — unlike the peers — sees loads and capacities. The worst-player
+// regret max_i max_{j,k} of this quantity is the series plotted in Fig. 1;
+// its decay to ~0 is the empirical signature of convergence to the
+// correlated-equilibrium set (eq. 3-1).
+type RegretAudit struct {
+	numPeers   int
+	numHelpers int
+	stages     int
+	// sums[i][j*H+k] accumulates the instantaneous conditional regret.
+	sums [][]float64
+}
+
+// NewRegretAudit sizes the audit for a fixed population.
+func NewRegretAudit(numPeers, numHelpers int) (*RegretAudit, error) {
+	if numPeers <= 0 || numHelpers <= 0 {
+		return nil, fmt.Errorf("metrics: NewRegretAudit(%d, %d)", numPeers, numHelpers)
+	}
+	sums := make([][]float64, numPeers)
+	for i := range sums {
+		sums[i] = make([]float64, numHelpers*numHelpers)
+	}
+	return &RegretAudit{numPeers: numPeers, numHelpers: numHelpers, sums: sums}, nil
+}
+
+// Observe ingests one stage: the joint actions, per-helper loads and
+// capacities (as exposed by core.StageResult).
+func (a *RegretAudit) Observe(actions []int, loads []int, capacities []float64) error {
+	if len(actions) != a.numPeers {
+		return fmt.Errorf("metrics: Observe with %d actions, want %d", len(actions), a.numPeers)
+	}
+	if len(loads) != a.numHelpers || len(capacities) != a.numHelpers {
+		return fmt.Errorf("metrics: Observe with %d loads/%d capacities, want %d",
+			len(loads), len(capacities), a.numHelpers)
+	}
+	h := a.numHelpers
+	for i, j := range actions {
+		if j < 0 || j >= h {
+			return fmt.Errorf("metrics: peer %d action %d out of range", i, j)
+		}
+		got := capacities[j] / float64(loads[j])
+		row := a.sums[i]
+		for k := 0; k < h; k++ {
+			if k == j {
+				continue
+			}
+			counter := capacities[k] / float64(loads[k]+1)
+			row[j*h+k] += counter - got
+		}
+	}
+	a.stages++
+	return nil
+}
+
+// Stages returns the number of observed stages.
+func (a *RegretAudit) Stages() int { return a.stages }
+
+// Regret returns peer i's time-averaged conditional regret for pair (j,k).
+func (a *RegretAudit) Regret(i, j, k int) float64 {
+	if a.stages == 0 {
+		return 0
+	}
+	v := a.sums[i][j*a.numHelpers+k] / float64(a.stages)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// PeerMaxRegret returns max_{j,k} of peer i's time-averaged regret.
+func (a *RegretAudit) PeerMaxRegret(i int) float64 {
+	worst := 0.0
+	h := a.numHelpers
+	for j := 0; j < h; j++ {
+		for k := 0; k < h; k++ {
+			if j == k {
+				continue
+			}
+			if v := a.Regret(i, j, k); v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}
+
+// WorstRegret returns the Fig. 1 quantity: the maximum time-averaged
+// conditional regret over all peers and pairs.
+func (a *RegretAudit) WorstRegret() float64 {
+	worst := 0.0
+	for i := 0; i < a.numPeers; i++ {
+		if v := a.PeerMaxRegret(i); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// MeanRegret returns the average over peers of their max conditional
+// regret — a smoother companion to WorstRegret.
+func (a *RegretAudit) MeanRegret() float64 {
+	if a.numPeers == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < a.numPeers; i++ {
+		sum += a.PeerMaxRegret(i)
+	}
+	return sum / float64(a.numPeers)
+}
+
+// EpsilonCE reports whether the empirical play so far is an ε-correlated
+// equilibrium in the audited (time-averaged, realized-capacity) sense.
+func (a *RegretAudit) EpsilonCE(epsilon float64) bool {
+	return a.WorstRegret() <= epsilon+1e-12
+}
+
+// NaNGuard returns an error if any accumulated sum is NaN or infinite —
+// used by long property tests to catch numerical corruption early.
+func (a *RegretAudit) NaNGuard() error {
+	for i, row := range a.sums {
+		for jk, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("metrics: regret sum[%d][%d] = %g", i, jk, v)
+			}
+		}
+	}
+	return nil
+}

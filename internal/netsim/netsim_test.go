@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"rths/internal/core"
+	"rths/internal/xrand"
+)
+
+func testConfig(n, h int, seed uint64) Config {
+	helpers := make([]core.HelperSpec, h)
+	for j := range helpers {
+		helpers[j] = core.DefaultHelperSpec()
+	}
+	return Config{NumPeers: n, Helpers: helpers, Seed: seed}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(testConfig(0, 2, 1)); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+	if _, err := New(Config{NumPeers: 1}); err == nil {
+		t.Fatal("no helpers accepted")
+	}
+	bad := testConfig(1, 1, 1)
+	bad.Helpers[0].Levels = []float64{-5}
+	if _, err := New(bad); err == nil {
+		t.Fatal("negative level accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	rt, err := New(testConfig(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(0, nil); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+}
+
+func TestProtocolInvariants(t *testing.T) {
+	const n, h, epochs = 12, 3, 200
+	rt, err := New(testConfig(n, h, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	err = rt.Run(epochs, func(s EpochStats) {
+		if s.Epoch != seen {
+			t.Fatalf("epoch %d out of order (want %d)", s.Epoch, seen)
+		}
+		seen++
+		loadSum := 0
+		for _, l := range s.Loads {
+			loadSum += l
+		}
+		if loadSum != n {
+			t.Fatalf("epoch %d: loads sum to %d", s.Epoch, loadSum)
+		}
+		welfare := 0.0
+		for j, l := range s.Loads {
+			if l > 0 {
+				welfare += s.Capacities[j]
+			}
+		}
+		if math.Abs(welfare-s.Welfare) > 1e-6 {
+			t.Fatalf("epoch %d: welfare %g vs occupied capacity %g", s.Epoch, s.Welfare, welfare)
+		}
+		for i, a := range s.Actions {
+			want := s.Capacities[a] / float64(s.Loads[a])
+			if math.Abs(s.Rates[i]-want) > 1e-9 {
+				t.Fatalf("epoch %d peer %d rate %g want %g", s.Epoch, i, s.Rates[i], want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != epochs {
+		t.Fatalf("observed %d epochs", seen)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	collect := func() []float64 {
+		rt, err := New(testConfig(8, 3, 77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var welfare []float64
+		if err := rt.Run(100, func(s EpochStats) { welfare = append(welfare, s.Welfare) }); err != nil {
+			t.Fatal(err)
+		}
+		return welfare
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("epoch %d: %g vs %g — concurrency broke determinism", i, a[i], b[i])
+		}
+	}
+}
+
+// The distributed protocol must reach the same equilibrium quality as the
+// sequential simulator: near-optimal welfare in the tail.
+func TestDistributedConvergence(t *testing.T) {
+	const n, h, epochs = 10, 4, 3000
+	rt, err := New(testConfig(n, h, 2024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailWelfare, tailOpt := 0.0, 0.0
+	err = rt.Run(epochs, func(s EpochStats) {
+		if s.Epoch < epochs/2 {
+			return
+		}
+		tailWelfare += s.Welfare
+		for _, c := range s.Capacities {
+			tailOpt += c
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := tailWelfare / tailOpt; frac < 0.93 {
+		t.Fatalf("distributed tail welfare fraction = %g, want >= 0.93", frac)
+	}
+}
+
+func TestBaselinePoliciesOverNetsim(t *testing.T) {
+	cfg := testConfig(6, 2, 5)
+	cfg.Factory = func(_, m int, _ float64) (core.Selector, error) {
+		return fixedSelector{m: m}, nil
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Run(50, func(s EpochStats) {
+		if s.Loads[0] != 6 || s.Loads[1] != 0 {
+			t.Fatalf("fixed policy loads = %v", s.Loads)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fixedSelector always picks helper 0 — exercises the degenerate all-on-one
+// path through the distributed protocol.
+type fixedSelector struct{ m int }
+
+func (f fixedSelector) Select(*xrand.Rand) int { return 0 }
+
+func (f fixedSelector) Update(action int, utility float64) error { return nil }
+func (f fixedSelector) NumActions() int                          { return f.m }
+
+func TestInvalidPolicyActionSurfaces(t *testing.T) {
+	cfg := testConfig(3, 2, 9)
+	cfg.Factory = func(_, m int, _ float64) (core.Selector, error) {
+		return rogueSelector{m: m}, nil
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(5, nil); err == nil {
+		t.Fatal("rogue selector action not surfaced")
+	}
+}
+
+type rogueSelector struct{ m int }
+
+func (r rogueSelector) Select(*xrand.Rand) int                   { return 99 }
+func (r rogueSelector) Update(action int, utility float64) error { return nil }
+func (r rogueSelector) NumActions() int                          { return r.m }

@@ -1,0 +1,36 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// The distributed runtime at population scale: 100 peer goroutines and 10
+// helper goroutines for 300 epochs. Guards against deadlocks and buffer
+// miscounts that only appear beyond toy sizes (run with -race in CI).
+func TestScaleHundredPeers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	const n, h, epochs = 100, 10, 300
+	rt, err := New(testConfig(n, h, 1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastEpoch := -1
+	err = rt.Run(epochs, func(s EpochStats) {
+		lastEpoch = s.Epoch
+		sum := 0
+		for _, l := range s.Loads {
+			sum += l
+		}
+		if sum != n {
+			t.Fatalf("epoch %d: loads sum %d", s.Epoch, sum)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEpoch != epochs-1 {
+		t.Fatalf("stopped at epoch %d", lastEpoch)
+	}
+}

@@ -1,0 +1,64 @@
+package overlay
+
+import (
+	"testing"
+
+	"rths/internal/alloc"
+	"rths/internal/core"
+)
+
+// End-to-end §V extension: the helper-level allocator sizes each channel's
+// pool from aggregate demand, then peer-level RTHS runs inside every
+// channel. The demand-heavy channel must end up with the larger pool and
+// all channels near their own optimum.
+func TestAllocatorFeedsOverlay(t *testing.T) {
+	demands := []alloc.Channel{
+		{Name: "hot", Demand: 20 * 500}, // 10000 kbps aggregate
+		{Name: "cold", Demand: 5 * 300}, // 1500 kbps
+	}
+	counts, err := alloc.Proportional(demands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] <= counts[1] {
+		t.Fatalf("hot channel got %d helpers vs cold %d", counts[0], counts[1])
+	}
+	mk := func(n int) []core.HelperSpec {
+		hs := make([]core.HelperSpec, n)
+		for j := range hs {
+			hs[j] = core.DefaultHelperSpec()
+		}
+		return hs
+	}
+	m, err := New(Config{
+		Channels: []ChannelConfig{
+			{Name: "hot", Bitrate: 500, Helpers: mk(counts[0]), InitialPeers: 20},
+			{Name: "cold", Bitrate: 300, Helpers: mk(counts[1]), InitialPeers: 5},
+		},
+		Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	welfare := map[string]float64{}
+	optimum := map[string]float64{}
+	const stages = 1500
+	for s := 0; s < stages; s++ {
+		res, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < stages/2 {
+			continue
+		}
+		for _, ch := range res.Channels {
+			welfare[ch.Name] += ch.Result.Welfare
+			optimum[ch.Name] += ch.Result.OptWelfare
+		}
+	}
+	for _, name := range []string{"hot", "cold"} {
+		if frac := welfare[name] / optimum[name]; frac < 0.9 {
+			t.Fatalf("channel %s welfare fraction = %g", name, frac)
+		}
+	}
+}

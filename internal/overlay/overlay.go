@@ -1,0 +1,238 @@
+// Package overlay assembles the multi-channel system of the paper's title:
+// several live channels, each with its own helper pool and peer audience,
+// plus the peer-to-channel membership machinery (joins, departures, channel
+// switching) that the churn workloads from internal/trace replay. Each
+// channel overlay runs its own helper-selection game (a core.System); the
+// overlay layer routes peers between them and aggregates the system-wide
+// observables.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+
+	"rths/internal/core"
+	"rths/internal/trace"
+)
+
+// ChannelConfig describes one live channel.
+type ChannelConfig struct {
+	// Name identifies the channel in results.
+	Name string
+	// Bitrate is the media bitrate (kbps); it becomes each viewer's demand.
+	Bitrate float64
+	// Helpers is the channel's dedicated helper pool.
+	Helpers []core.HelperSpec
+	// InitialPeers seeds the audience before churn begins.
+	InitialPeers int
+}
+
+// Config assembles a multi-channel system.
+type Config struct {
+	Channels []ChannelConfig
+	// Factory builds selection policies (nil = RTHS learners).
+	Factory core.SelectorFactory
+	// Seed drives all channel systems (each gets a derived seed).
+	Seed uint64
+}
+
+// Multi is a running multi-channel system.
+type Multi struct {
+	channels []*channelState
+	byPeer   map[int]location // global peer id -> where it lives
+}
+
+type channelState struct {
+	name    string
+	bitrate float64
+	sys     *core.System
+	peerIDs []int // parallel to the system's peer indices
+}
+
+type location struct {
+	channel int
+	local   int
+}
+
+// ChannelResult is one channel's view of a completed stage.
+type ChannelResult struct {
+	Name    string
+	Bitrate float64
+	// PeerIDs[i] is the global id of the channel's i-th peer, aligned with
+	// Result.Actions/Rates.
+	PeerIDs []int
+	Result  core.StageResult
+}
+
+// StepResult aggregates one stage across channels.
+type StepResult struct {
+	Channels []ChannelResult
+	// TotalWelfare, TotalOptWelfare, TotalServerLoad and TotalMinDeficit
+	// sum the per-channel quantities.
+	TotalWelfare    float64
+	TotalOptWelfare float64
+	TotalServerLoad float64
+	TotalMinDeficit float64
+	// ActivePeers is the number of peers across all channels.
+	ActivePeers int
+}
+
+// New builds the multi-channel system.
+func New(cfg Config) (*Multi, error) {
+	if len(cfg.Channels) == 0 {
+		return nil, errors.New("overlay: no channels")
+	}
+	m := &Multi{byPeer: make(map[int]location)}
+	nextGlobal := 0
+	for ci, ch := range cfg.Channels {
+		if ch.Bitrate <= 0 {
+			return nil, fmt.Errorf("overlay: channel %q bitrate %g", ch.Name, ch.Bitrate)
+		}
+		if ch.InitialPeers < 0 {
+			return nil, fmt.Errorf("overlay: channel %q initial peers %d", ch.Name, ch.InitialPeers)
+		}
+		sys, err := core.New(core.Config{
+			NumPeers:      ch.InitialPeers,
+			Helpers:       ch.Helpers,
+			Factory:       cfg.Factory,
+			Seed:          cfg.Seed + uint64(ci)*0x9e3779b97f4a7c15,
+			DemandPerPeer: ch.Bitrate,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("overlay: channel %q: %w", ch.Name, err)
+		}
+		st := &channelState{name: ch.Name, bitrate: ch.Bitrate, sys: sys}
+		for i := 0; i < ch.InitialPeers; i++ {
+			st.peerIDs = append(st.peerIDs, nextGlobal)
+			m.byPeer[nextGlobal] = location{channel: ci, local: i}
+			nextGlobal++
+		}
+		m.channels = append(m.channels, st)
+	}
+	return m, nil
+}
+
+// NumChannels returns the channel count.
+func (m *Multi) NumChannels() int { return len(m.channels) }
+
+// ActivePeers returns the total audience size.
+func (m *Multi) ActivePeers() int { return len(m.byPeer) }
+
+// ChannelAudience returns the number of peers watching channel ci.
+func (m *Multi) ChannelAudience(ci int) int { return len(m.channels[ci].peerIDs) }
+
+// Join adds the (new) global peer to channel ci with the channel bitrate as
+// demand; the selection policy comes from the channel system's factory
+// default (RTHS unless configured otherwise).
+func (m *Multi) Join(peerID, ci int) error {
+	if _, exists := m.byPeer[peerID]; exists {
+		return fmt.Errorf("overlay: peer %d already active", peerID)
+	}
+	if ci < 0 || ci >= len(m.channels) {
+		return fmt.Errorf("overlay: channel %d out of range", ci)
+	}
+	st := m.channels[ci]
+	local, err := st.sys.AddPeer(nil, st.bitrate)
+	if err != nil {
+		return fmt.Errorf("overlay: join channel %q: %w", st.name, err)
+	}
+	st.peerIDs = append(st.peerIDs, peerID)
+	if len(st.peerIDs) != local+1 {
+		return fmt.Errorf("overlay: channel %q index skew: %d ids vs local %d", st.name, len(st.peerIDs), local)
+	}
+	m.byPeer[peerID] = location{channel: ci, local: local}
+	return nil
+}
+
+// Leave removes the global peer from the system.
+func (m *Multi) Leave(peerID int) error {
+	loc, ok := m.byPeer[peerID]
+	if !ok {
+		return fmt.Errorf("overlay: peer %d not active", peerID)
+	}
+	st := m.channels[loc.channel]
+	if err := st.sys.RemovePeer(loc.local); err != nil {
+		return fmt.Errorf("overlay: leave channel %q: %w", st.name, err)
+	}
+	st.peerIDs = append(st.peerIDs[:loc.local], st.peerIDs[loc.local+1:]...)
+	// Reindex the shifted peers.
+	for i := loc.local; i < len(st.peerIDs); i++ {
+		m.byPeer[st.peerIDs[i]] = location{channel: loc.channel, local: i}
+	}
+	delete(m.byPeer, peerID)
+	return nil
+}
+
+// Switch moves the peer to another channel (fresh selection state, since
+// the helper pool is channel-specific).
+func (m *Multi) Switch(peerID, toChannel int) error {
+	loc, ok := m.byPeer[peerID]
+	if !ok {
+		return fmt.Errorf("overlay: peer %d not active", peerID)
+	}
+	if loc.channel == toChannel {
+		return nil
+	}
+	if err := m.Leave(peerID); err != nil {
+		return err
+	}
+	return m.Join(peerID, toChannel)
+}
+
+// Apply replays one churn event.
+func (m *Multi) Apply(e trace.Event) error {
+	switch e.Kind {
+	case trace.Join:
+		return m.Join(e.PeerID, e.Channel)
+	case trace.Leave:
+		return m.Leave(e.PeerID)
+	case trace.Switch:
+		return m.Switch(e.PeerID, e.Channel)
+	default:
+		return fmt.Errorf("overlay: unknown event kind %v", e.Kind)
+	}
+}
+
+// Step advances every channel one stage and aggregates.
+func (m *Multi) Step() (StepResult, error) {
+	out := StepResult{ActivePeers: len(m.byPeer)}
+	for _, st := range m.channels {
+		res, err := st.sys.Step()
+		if err != nil {
+			return StepResult{}, fmt.Errorf("overlay: channel %q: %w", st.name, err)
+		}
+		cr := ChannelResult{
+			Name:    st.name,
+			Bitrate: st.bitrate,
+			PeerIDs: append([]int(nil), st.peerIDs...),
+			Result:  res.Clone(),
+		}
+		out.Channels = append(out.Channels, cr)
+		out.TotalWelfare += res.Welfare
+		out.TotalOptWelfare += res.OptWelfare
+		out.TotalServerLoad += res.ServerLoad
+		out.TotalMinDeficit += res.MinDeficit
+	}
+	return out, nil
+}
+
+// Replay runs the workload to its horizon, applying each stage's events
+// before stepping, and invoking observe (if non-nil) per stage.
+func (m *Multi) Replay(w *trace.Workload, horizon int, observe func(StepResult)) error {
+	perStage := w.PerStage(horizon)
+	for s := 0; s < horizon; s++ {
+		for _, e := range perStage[s] {
+			if err := m.Apply(e); err != nil {
+				return fmt.Errorf("overlay: stage %d event %+v: %w", s, e, err)
+			}
+		}
+		res, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if observe != nil {
+			observe(res)
+		}
+	}
+	return nil
+}

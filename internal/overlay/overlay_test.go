@@ -1,0 +1,208 @@
+package overlay
+
+import (
+	"testing"
+
+	"rths/internal/core"
+	"rths/internal/trace"
+)
+
+func twoChannelConfig(seed uint64) Config {
+	mkHelpers := func(n int) []core.HelperSpec {
+		hs := make([]core.HelperSpec, n)
+		for j := range hs {
+			hs[j] = core.DefaultHelperSpec()
+		}
+		return hs
+	}
+	return Config{
+		Channels: []ChannelConfig{
+			{Name: "news", Bitrate: 400, Helpers: mkHelpers(3), InitialPeers: 6},
+			{Name: "sports", Bitrate: 600, Helpers: mkHelpers(2), InitialPeers: 4},
+		},
+		Seed: seed,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no channels accepted")
+	}
+	cfg := twoChannelConfig(1)
+	cfg.Channels[0].Bitrate = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero bitrate accepted")
+	}
+	cfg2 := twoChannelConfig(1)
+	cfg2.Channels[1].InitialPeers = -1
+	if _, err := New(cfg2); err == nil {
+		t.Fatal("negative initial peers accepted")
+	}
+	cfg3 := twoChannelConfig(1)
+	cfg3.Channels[0].Helpers = nil
+	if _, err := New(cfg3); err == nil {
+		t.Fatal("channel without helpers accepted")
+	}
+}
+
+func TestInitialMembership(t *testing.T) {
+	m, err := New(twoChannelConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumChannels() != 2 || m.ActivePeers() != 10 {
+		t.Fatalf("channels=%d active=%d", m.NumChannels(), m.ActivePeers())
+	}
+	if m.ChannelAudience(0) != 6 || m.ChannelAudience(1) != 4 {
+		t.Fatalf("audiences %d/%d", m.ChannelAudience(0), m.ChannelAudience(1))
+	}
+}
+
+func TestStepAggregates(t *testing.T) {
+	m, err := New(twoChannelConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Channels) != 2 {
+		t.Fatalf("channels in result: %d", len(res.Channels))
+	}
+	sum := res.Channels[0].Result.Welfare + res.Channels[1].Result.Welfare
+	if sum != res.TotalWelfare {
+		t.Fatalf("TotalWelfare %g vs sum %g", res.TotalWelfare, sum)
+	}
+	if res.ActivePeers != 10 {
+		t.Fatalf("ActivePeers = %d", res.ActivePeers)
+	}
+	// Demand = bitrate is wired through: min deficit positive when demand
+	// exceeds total helper capacity (6*400+4*600 = 4800 > max 4500).
+	if res.TotalMinDeficit < 0 {
+		t.Fatalf("TotalMinDeficit = %g", res.TotalMinDeficit)
+	}
+	if len(res.Channels[0].PeerIDs) != 6 {
+		t.Fatalf("channel peer ids: %v", res.Channels[0].PeerIDs)
+	}
+}
+
+func TestJoinLeaveSwitch(t *testing.T) {
+	m, err := New(twoChannelConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Join(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActivePeers() != 11 || m.ChannelAudience(0) != 7 {
+		t.Fatal("join not applied")
+	}
+	if err := m.Join(100, 0); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+	if err := m.Join(101, 9); err == nil {
+		t.Fatal("bad channel accepted")
+	}
+	if err := m.Switch(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.ChannelAudience(0) != 6 || m.ChannelAudience(1) != 5 {
+		t.Fatal("switch not applied")
+	}
+	if err := m.Switch(100, 1); err != nil {
+		t.Fatal("no-op switch should succeed")
+	}
+	if err := m.Leave(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Leave(100); err == nil {
+		t.Fatal("double leave accepted")
+	}
+	if m.ActivePeers() != 10 {
+		t.Fatalf("ActivePeers = %d", m.ActivePeers())
+	}
+	// System still steps cleanly after churn (membership maps intact).
+	for i := 0; i < 50; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLeaveReindexesCorrectly(t *testing.T) {
+	m, err := New(twoChannelConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove a peer from the middle of channel 0 and verify the remaining
+	// global ids still resolve (exercise via further leaves).
+	if err := m.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 1, 3, 4, 5} {
+		if err := m.Leave(id); err != nil {
+			t.Fatalf("leave %d after reindex: %v", id, err)
+		}
+	}
+	if m.ChannelAudience(0) != 0 {
+		t.Fatalf("audience = %d", m.ChannelAudience(0))
+	}
+	// Empty channel still steps.
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayWorkload(t *testing.T) {
+	cfg := Config{
+		Channels: []ChannelConfig{
+			{Name: "a", Bitrate: 300, Helpers: []core.HelperSpec{core.DefaultHelperSpec(), core.DefaultHelperSpec()}},
+			{Name: "b", Bitrate: 300, Helpers: []core.HelperSpec{core.DefaultHelperSpec()}},
+			{Name: "c", Bitrate: 300, Helpers: []core.HelperSpec{core.DefaultHelperSpec()}},
+		},
+		Seed: 23,
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.GenerateChurn(trace.ChurnConfig{
+		Horizon:      300,
+		ArrivalRate:  0.3,
+		MeanLifetime: 60,
+		Channels:     3,
+		ZipfS:        1,
+		SwitchRate:   0.02,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := 0
+	err = m.Replay(w, 300, func(res StepResult) {
+		stages++
+		if res.ActivePeers < 0 {
+			t.Fatal("negative active peers")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stages != 300 {
+		t.Fatalf("observed %d stages", stages)
+	}
+	if m.ActivePeers() != w.FinalActive {
+		t.Fatalf("final active %d vs workload %d", m.ActivePeers(), w.FinalActive)
+	}
+}
+
+func TestApplyUnknownEvent(t *testing.T) {
+	m, err := New(twoChannelConfig(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(trace.Event{Kind: trace.EventKind(99)}); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+}

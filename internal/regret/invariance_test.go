@@ -1,0 +1,78 @@
+package regret
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rths/internal/xrand"
+)
+
+// The learner must be invariant to the utility unit: feeding utilities
+// scaled by any positive factor c with μ scaled by the same factor must
+// reproduce the exact same strategy sequence. Users rely on this when
+// choosing kbps vs normalized rates (core normalizes; Defaults exposes the
+// scale knob).
+func TestUtilityScaleInvarianceProperty(t *testing.T) {
+	f := func(seed uint64, scaleRaw uint8) bool {
+		c := 1 + float64(scaleRaw) // scale factor in [1, 256]
+		base := Config{NumActions: 3, StepSize: 0.05, Exploration: 0.1, Mu: 0.1, Mode: ModeTracking}
+		scaled := base
+		scaled.Mu = base.Mu * c
+
+		a := MustNew(base)
+		b := MustNew(scaled)
+		r := xrand.New(seed)
+		for s := 0; s < 200; s++ {
+			action := r.Intn(3)
+			u := r.Float64()
+			a.ForceAction(action)
+			b.ForceAction(action)
+			if err := a.Update(action, u); err != nil {
+				return false
+			}
+			if err := b.Update(action, u*c); err != nil {
+				return false
+			}
+			pa, pb := a.Probabilities(), b.Probabilities()
+			for i := range pa {
+				if math.Abs(pa[i]-pb[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Relabeling actions must relabel the learner's behaviour and nothing
+// else: permuting the action indices (and permuting the feedback the same
+// way) yields permuted strategies.
+func TestActionRelabelingInvariance(t *testing.T) {
+	perm := []int{2, 0, 1} // new index of old action i
+	base := testConfig(3)
+	a := MustNew(base)
+	b := MustNew(base)
+	r := xrand.New(77)
+	for s := 0; s < 300; s++ {
+		action := r.Intn(3)
+		u := r.Float64()
+		a.ForceAction(action)
+		b.ForceAction(perm[action])
+		if err := a.Update(action, u); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Update(perm[action], u); err != nil {
+			t.Fatal(err)
+		}
+		pa, pb := a.Probabilities(), b.Probabilities()
+		for i := range pa {
+			if math.Abs(pa[i]-pb[perm[i]]) > 1e-12 {
+				t.Fatalf("stage %d: p_a[%d]=%g vs p_b[%d]=%g", s, i, pa[i], perm[i], pb[perm[i]])
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package regret
+
+import (
+	"fmt"
+	"math"
+
+	"rths/internal/xrand"
+)
+
+// Reference implements RTHS (Algorithm 1) literally: it stores the entire
+// private history (a_i^τ, u_i^τ, p_i^τ) and recomputes the exponentially
+// weighted proxy sums of eq. (3-2)/(3-3) from scratch on demand. Cost is
+// O(n·m) per stage versus the O(m) R2HS recursion, which is exactly the
+// inefficiency the paper's Algorithm 2 removes. It exists to validate the
+// recursive Learner: both must produce identical strategies on identical
+// inputs (see TestRecursiveMatchesReference).
+type Reference struct {
+	cfg     Config
+	m       int
+	probs   []float64
+	history []refStage
+	last    int
+}
+
+type refStage struct {
+	action  int
+	utility float64
+	probs   []float64
+}
+
+// NewReference builds the history-based Algorithm 1 learner. Only
+// ModeTracking semantics are defined for it.
+func NewReference(cfg Config) (*Reference, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeTracking
+	}
+	if cfg.Mode != ModeTracking {
+		return nil, fmt.Errorf("regret: Reference supports only ModeTracking, got %v", cfg.Mode)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Reference{cfg: cfg, m: cfg.NumActions, last: -1}
+	r.probs = make([]float64, r.m)
+	for i := range r.probs {
+		r.probs[i] = 1 / float64(r.m)
+	}
+	return r, nil
+}
+
+// NumActions returns the action-set size.
+func (r *Reference) NumActions() int { return r.m }
+
+// Probabilities returns a copy of the current mixed strategy.
+func (r *Reference) Probabilities() []float64 {
+	out := make([]float64, r.m)
+	copy(out, r.probs)
+	return out
+}
+
+// Select samples an action from the current mixed strategy.
+func (r *Reference) Select(rng *xrand.Rand) int {
+	r.last = rng.Categorical(r.probs)
+	return r.last
+}
+
+// ForceAction overrides the sampled action for this stage.
+func (r *Reference) ForceAction(a int) {
+	if a < 0 || a >= r.m {
+		panic(fmt.Sprintf("regret: ForceAction(%d) with m=%d", a, r.m))
+	}
+	r.last = a
+}
+
+// Update appends the stage to the history and recomputes the strategy by
+// full replay of eq. (3-2)/(3-3).
+func (r *Reference) Update(action int, utility float64) error {
+	if action != r.last {
+		return fmt.Errorf("regret: Update(action=%d) does not match selected action %d", action, r.last)
+	}
+	if utility < 0 || math.IsNaN(utility) || math.IsInf(utility, 0) {
+		return fmt.Errorf("regret: Update utility %g invalid", utility)
+	}
+	snapshot := make([]float64, r.m)
+	copy(snapshot, r.probs)
+	r.history = append(r.history, refStage{action: action, utility: utility, probs: snapshot})
+	r.recomputeProbs(action)
+	r.last = -1
+	return nil
+}
+
+// Regret recomputes Q(j,k) from the full history.
+func (r *Reference) Regret(j, k int) float64 {
+	if j == k {
+		return 0
+	}
+	eps := r.cfg.StepSize
+	n := len(r.history)
+	gain, base := 0.0, 0.0
+	for idx, st := range r.history {
+		w := eps * math.Pow(1-eps, float64(n-1-idx))
+		if st.action == k {
+			gain += w * (st.probs[j] / st.probs[k]) * st.utility
+		}
+		if st.action == j {
+			base += w * st.utility
+		}
+	}
+	if d := gain - base; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// MaxRegret returns the maximum Q(j,k) over all ordered pairs.
+func (r *Reference) MaxRegret() float64 {
+	worst := 0.0
+	for j := 0; j < r.m; j++ {
+		for k := 0; k < r.m; k++ {
+			if j == k {
+				continue
+			}
+			if q := r.Regret(j, k); q > worst {
+				worst = q
+			}
+		}
+	}
+	return worst
+}
+
+func (r *Reference) recomputeProbs(j int) {
+	m := r.m
+	if m == 1 {
+		r.probs[0] = 1
+		return
+	}
+	delta := r.cfg.Exploration
+	mu := r.cfg.Mu
+	cap := 1 / float64(m-1)
+	sum := 0.0
+	for k := 0; k < m; k++ {
+		if k == j {
+			continue
+		}
+		v := r.Regret(j, k) / mu
+		if v > cap {
+			v = cap
+		}
+		p := (1-delta)*v + delta/float64(m)
+		r.probs[k] = p
+		sum += p
+	}
+	r.probs[j] = 1 - sum
+}

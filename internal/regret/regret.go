@@ -1,0 +1,416 @@
+// Package regret implements the paper's learning algorithms: regret
+// matching (Hart & Mas-Colell), the paper's regret-tracking helper
+// selection (RTHS, Algorithm 1), and its recursive re-expression (R2HS,
+// Algorithm 2). The learners are deliberately decoupled from streaming —
+// they see only their own actions and bandit utility feedback, mirroring
+// the "zero-knowledge / opaque feedback" setting of the paper (§III.B).
+//
+// # Stage protocol
+//
+// Each simulation stage, the owner of a Learner must:
+//
+//  1. call Select to sample an action from the current mixed strategy,
+//  2. play it and observe the realized utility, then
+//  3. call Update(action, utility) exactly once.
+//
+// Update maintains the proxy-regret state (eq. 3-2/3-3 via the T-matrix
+// recursion of eq. 3-4..3-6) and recomputes the mixed strategy for the next
+// stage with the μ-normalized, δ-explored rule of Algorithms 1–2:
+//
+//	p(k) = (1-δ)·min{ Q(j,k)/μ , 1/(m-1) } + δ/m   for k ≠ j
+//	p(j) = 1 - Σ_{k≠j} p(k)
+//
+// which keeps every action probability at least δ/m — the exploration floor
+// the importance-weighted proxy estimates require.
+//
+// # Fidelity note (DESIGN.md §4.1)
+//
+// The paper's eq. (3-5) accumulates T without decay yet defines Q through
+// exponentially weighted sums (eq. 3-3). ModeTracking implements the
+// mathematically consistent recursion T ← (1-ε)T + increment, which makes
+// ε·T exactly the recency-weighted sums of eq. (3-3). The literal update is
+// available as ModePaperExact for the A4 ablation, and ModeMatching gives
+// the uniform-averaging regret-matching baseline.
+package regret
+
+import (
+	"fmt"
+	"math"
+
+	"rths/internal/xrand"
+)
+
+// Mode selects the averaging scheme of a Learner.
+type Mode int
+
+// Averaging modes.
+const (
+	// ModeTracking is RTHS/R2HS: exponential recency-weighted averaging
+	// with constant step size ε (the paper's contribution).
+	ModeTracking Mode = iota + 1
+	// ModeMatching is classic regret matching: uniform averaging over the
+	// whole history (the Hart & Mas-Colell baseline, ablation A2).
+	ModeMatching
+	// ModePaperExact is the literal eq. (3-5) recursion — cumulative T with
+	// no decay, still multiplied by ε in eq. (3-6). Kept for ablation A4.
+	ModePaperExact
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeTracking:
+		return "tracking"
+	case ModeMatching:
+		return "matching"
+	case ModePaperExact:
+		return "paper-exact"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Learner. Zero values are invalid; use Defaults to
+// start from the experiment defaults.
+type Config struct {
+	// NumActions is the initial size of the action set (helpers in view).
+	NumActions int
+	// StepSize is ε ∈ (0,1]: the exponential averaging constant. Larger
+	// values track faster but with more variance.
+	StepSize float64
+	// Exploration is δ ∈ (0,1): the probability floor mixed into the play
+	// probabilities. Every action keeps probability >= δ/m.
+	Exploration float64
+	// Mu is the μ normalization constant of the probability update. It
+	// should dominate (m-1)·(largest plausible regret); smaller values make
+	// switching more aggressive.
+	Mu float64
+	// Mode selects the averaging scheme; defaults to ModeTracking.
+	Mode Mode
+}
+
+// Defaults returns the configuration used throughout the experiments for a
+// given action-set size and utility scale (the maximum plausible stage
+// utility, e.g. the largest helper bandwidth when utilities are raw rates,
+// or 1.0 when the caller normalizes). The constants were calibrated
+// empirically on the paper's small-scale scenario (N=10, H=4; see
+// EXPERIMENTS.md): ε=0.02 gives a ~50-stage tracking window, δ=0.05 keeps
+// a 1.25% floor per helper at H=4, and μ at a twentieth of the
+// (m-1)·scale bound makes switching decisive without oscillation. The
+// welfare and fairness results are flat across a wide band around these
+// values (ablation A3), so they are defaults rather than magic.
+func Defaults(numActions int, utilityScale float64) Config {
+	return Config{
+		NumActions:  numActions,
+		StepSize:    0.02,
+		Exploration: 0.05,
+		Mu:          float64(maxInt(numActions-1, 1)) * utilityScale * 0.05,
+		Mode:        ModeTracking,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (c Config) validate() error {
+	if c.NumActions <= 0 {
+		return fmt.Errorf("regret: NumActions=%d", c.NumActions)
+	}
+	if c.NumActions > 255 {
+		return fmt.Errorf("regret: NumActions=%d exceeds 255", c.NumActions)
+	}
+	if !(c.StepSize > 0 && c.StepSize <= 1) {
+		return fmt.Errorf("regret: StepSize=%g outside (0,1]", c.StepSize)
+	}
+	if !(c.Exploration > 0 && c.Exploration < 1) {
+		return fmt.Errorf("regret: Exploration=%g outside (0,1)", c.Exploration)
+	}
+	if !(c.Mu > 0) || math.IsInf(c.Mu, 0) {
+		return fmt.Errorf("regret: Mu=%g must be positive and finite", c.Mu)
+	}
+	switch c.Mode {
+	case ModeTracking, ModeMatching, ModePaperExact:
+	default:
+		return fmt.Errorf("regret: invalid mode %d", int(c.Mode))
+	}
+	return nil
+}
+
+// Learner is the R2HS learner (Algorithm 2): O(m²) state, O(m) per-stage
+// update. It also hosts the regret-matching baseline and the paper-exact
+// ablation via Config.Mode. Not safe for concurrent use.
+type Learner struct {
+	cfg   Config
+	m     int       // current number of actions
+	t     []float64 // m×m proxy matrix T (row-major); T[j][k] per eq. 3-4
+	probs []float64 // current mixed strategy p^n
+	stage int       // completed updates
+	last  int       // last action returned by Select, -1 before first
+}
+
+// New builds a learner with a uniform initial strategy (Algorithm 1/2
+// initialization: random initial action, p⁰(a) = 1/|H|).
+func New(cfg Config) (*Learner, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeTracking
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := &Learner{cfg: cfg, last: -1}
+	l.reset(cfg.NumActions)
+	return l, nil
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(cfg Config) *Learner {
+	l, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func (l *Learner) reset(m int) {
+	l.m = m
+	l.t = make([]float64, m*m)
+	l.probs = make([]float64, m)
+	for i := range l.probs {
+		l.probs[i] = 1 / float64(m)
+	}
+	l.stage = 0
+	l.last = -1
+}
+
+// NumActions returns the current action-set size.
+func (l *Learner) NumActions() int { return l.m }
+
+// Stage returns the number of completed updates.
+func (l *Learner) Stage() int { return l.stage }
+
+// Mode returns the averaging mode.
+func (l *Learner) Mode() Mode { return l.cfg.Mode }
+
+// Probabilities returns a copy of the current mixed strategy.
+func (l *Learner) Probabilities() []float64 {
+	out := make([]float64, l.m)
+	copy(out, l.probs)
+	return out
+}
+
+// Select samples an action from the current mixed strategy.
+func (l *Learner) Select(r *xrand.Rand) int {
+	l.last = r.Categorical(l.probs)
+	return l.last
+}
+
+// ForceAction overrides the sampled action for this stage (used by tests
+// and by the reference implementation to replay a fixed action sequence).
+// The caller is asserting the action was played with the current
+// probabilities, so importance weights still use Probabilities().
+func (l *Learner) ForceAction(a int) {
+	if a < 0 || a >= l.m {
+		panic(fmt.Sprintf("regret: ForceAction(%d) with m=%d", a, l.m))
+	}
+	l.last = a
+}
+
+// Update ingests the bandit feedback for the action played this stage and
+// recomputes the mixed strategy. The action must be the one returned by the
+// latest Select (or ForceAction); utility must be finite and non-negative.
+func (l *Learner) Update(action int, utility float64) error {
+	if action != l.last {
+		return fmt.Errorf("regret: Update(action=%d) does not match selected action %d", action, l.last)
+	}
+	if action < 0 || action >= l.m {
+		return fmt.Errorf("regret: Update action %d out of range [0,%d)", action, l.m)
+	}
+	if utility < 0 || math.IsNaN(utility) || math.IsInf(utility, 0) {
+		return fmt.Errorf("regret: Update utility %g invalid", utility)
+	}
+	eps := l.cfg.StepSize
+
+	// Decay per mode, then the rank-one increment of eq. (3-5): column
+	// `action` receives u/p(action) · p(j) for every row j. T(j,j) for
+	// j==action therefore accumulates the raw utility.
+	switch l.cfg.Mode {
+	case ModeTracking:
+		decay := 1 - eps
+		for i := range l.t {
+			l.t[i] *= decay
+		}
+	case ModeMatching, ModePaperExact:
+		// no decay: cumulative sums
+	}
+	pa := l.probs[action]
+	scale := utility / pa
+	for j := 0; j < l.m; j++ {
+		if l.cfg.Mode == ModeTracking {
+			// Fold the ε factor of eq. (3-3)/(3-6) into the increment so
+			// that T directly stores the recency-weighted sums and Q is a
+			// plain positive part (clearer and numerically tidier).
+			l.t[j*l.m+action] += eps * scale * l.probs[j]
+		} else {
+			l.t[j*l.m+action] += scale * l.probs[j]
+		}
+	}
+	l.stage++
+	l.recomputeProbs(action)
+	l.last = -1
+	return nil
+}
+
+// regret returns the current estimate Q(j,k): the (normalized) gain of
+// having played k whenever j was played.
+func (l *Learner) regret(j, k int) float64 {
+	diff := l.t[j*l.m+k] - l.t[j*l.m+j]
+	switch l.cfg.Mode {
+	case ModeTracking:
+		// ε already folded into the increments.
+	case ModeMatching:
+		if l.stage > 0 {
+			diff /= float64(l.stage)
+		}
+	case ModePaperExact:
+		diff *= l.cfg.StepSize
+	}
+	if diff < 0 {
+		return 0
+	}
+	return diff
+}
+
+// Regret returns Q(j,k), the learner's internal proxy regret for not having
+// played k whenever it played j. Both indices must be in range.
+func (l *Learner) Regret(j, k int) float64 {
+	if j < 0 || j >= l.m || k < 0 || k >= l.m {
+		panic(fmt.Sprintf("regret: Regret(%d,%d) with m=%d", j, k, l.m))
+	}
+	if j == k {
+		return 0
+	}
+	return l.regret(j, k)
+}
+
+// MaxRegret returns max over (j,k) of Q(j,k) — the learner's own estimate
+// of how far it is from the zero-regret condition.
+func (l *Learner) MaxRegret() float64 {
+	worst := 0.0
+	for j := 0; j < l.m; j++ {
+		for k := 0; k < l.m; k++ {
+			if j == k {
+				continue
+			}
+			if q := l.regret(j, k); q > worst {
+				worst = q
+			}
+		}
+	}
+	return worst
+}
+
+// recomputeProbs applies the Algorithm 1/2 probability update given the
+// action j played this stage.
+func (l *Learner) recomputeProbs(j int) {
+	m := l.m
+	if m == 1 {
+		l.probs[0] = 1
+		return
+	}
+	delta := l.cfg.Exploration
+	mu := l.cfg.Mu
+	cap := 1 / float64(m-1)
+	sum := 0.0
+	for k := 0; k < m; k++ {
+		if k == j {
+			continue
+		}
+		v := l.regret(j, k) / mu
+		if v > cap {
+			v = cap
+		}
+		p := (1-delta)*v + delta/float64(m)
+		l.probs[k] = p
+		sum += p
+	}
+	l.probs[j] = 1 - sum
+}
+
+// AddAction grows the action set by one (a helper joined). The new action
+// starts with zero regret and immediately receives the exploration floor;
+// existing probabilities are rescaled to make room.
+func (l *Learner) AddAction() {
+	m := l.m
+	nm := m + 1
+	if nm > 255 {
+		panic("regret: AddAction beyond 255 actions")
+	}
+	nt := make([]float64, nm*nm)
+	for j := 0; j < m; j++ {
+		copy(nt[j*nm:j*nm+m], l.t[j*m:(j+1)*m])
+	}
+	l.t = nt
+	floor := l.cfg.Exploration / float64(nm)
+	rescale := 1 - floor
+	np := make([]float64, nm)
+	for k := 0; k < m; k++ {
+		np[k] = l.probs[k] * rescale
+	}
+	np[m] = floor
+	l.probs = np
+	l.m = nm
+	l.last = -1
+}
+
+// RemoveAction deletes action k (a helper left). Its regret state is
+// discarded and the remaining probabilities renormalized. Panics if only
+// one action remains or k is out of range.
+func (l *Learner) RemoveAction(k int) {
+	if l.m <= 1 {
+		panic("regret: RemoveAction would empty the action set")
+	}
+	if k < 0 || k >= l.m {
+		panic(fmt.Sprintf("regret: RemoveAction(%d) with m=%d", k, l.m))
+	}
+	m := l.m
+	nm := m - 1
+	nt := make([]float64, nm*nm)
+	for j, nj := 0, 0; j < m; j++ {
+		if j == k {
+			continue
+		}
+		for c, nc := 0, 0; c < m; c++ {
+			if c == k {
+				continue
+			}
+			nt[nj*nm+nc] = l.t[j*m+c]
+			nc++
+		}
+		nj++
+	}
+	l.t = nt
+	np := make([]float64, 0, nm)
+	sum := 0.0
+	for i, p := range l.probs {
+		if i == k {
+			continue
+		}
+		np = append(np, p)
+		sum += p
+	}
+	if sum <= 0 {
+		for i := range np {
+			np[i] = 1 / float64(nm)
+		}
+	} else {
+		for i := range np {
+			np[i] /= sum
+		}
+	}
+	l.probs = np
+	l.m = nm
+	l.last = -1
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validConfig() ChurnConfig {
+	return ChurnConfig{
+		Horizon:      500,
+		ArrivalRate:  0.5,
+		MeanLifetime: 100,
+		Channels:     5,
+		ZipfS:        1.0,
+		SwitchRate:   0.01,
+		Seed:         1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*ChurnConfig)
+	}{
+		{"horizon", func(c *ChurnConfig) { c.Horizon = 0 }},
+		{"arrival", func(c *ChurnConfig) { c.ArrivalRate = -1 }},
+		{"lifetime", func(c *ChurnConfig) { c.MeanLifetime = 0 }},
+		{"channels", func(c *ChurnConfig) { c.Channels = 0 }},
+		{"zipf", func(c *ChurnConfig) { c.ZipfS = -0.1 }},
+		{"switch", func(c *ChurnConfig) { c.SwitchRate = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validConfig()
+			tc.mut(&cfg)
+			if _, err := GenerateChurn(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestGenerateChurnDeterministic(t *testing.T) {
+	a, err := GenerateChurn(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChurn(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// Property: the trace is replayable — every leave/switch refers to a peer
+// that joined earlier and is still active, and events are stage-sorted.
+func TestChurnConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := validConfig()
+		cfg.Seed = seed
+		w, err := GenerateChurn(cfg)
+		if err != nil {
+			return false
+		}
+		active := map[int]bool{}
+		lastStage := 0
+		for _, e := range w.Events {
+			if e.Stage < lastStage {
+				return false
+			}
+			lastStage = e.Stage
+			switch e.Kind {
+			case Join:
+				if active[e.PeerID] {
+					return false
+				}
+				active[e.PeerID] = true
+			case Leave:
+				if !active[e.PeerID] {
+					return false
+				}
+				delete(active, e.PeerID)
+			case Switch:
+				if !active[e.PeerID] {
+					return false
+				}
+			}
+			if e.Channel < 0 || e.Channel >= cfg.Channels {
+				return false
+			}
+		}
+		return len(active) == w.FinalActive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopularityIsSkewed(t *testing.T) {
+	cfg := validConfig()
+	cfg.Horizon = 2000
+	cfg.ArrivalRate = 2
+	w, err := GenerateChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := make([]int, cfg.Channels)
+	for _, e := range w.Events {
+		if e.Kind == Join {
+			joins[e.Channel]++
+		}
+	}
+	if joins[0] <= joins[cfg.Channels-1] {
+		t.Fatalf("Zipf skew missing: joins %v", joins)
+	}
+}
+
+func TestPeakAndPerStage(t *testing.T) {
+	cfg := validConfig()
+	w, err := GenerateChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Peak <= 0 {
+		t.Fatalf("Peak = %d", w.Peak)
+	}
+	per := w.PerStage(cfg.Horizon)
+	if len(per) != cfg.Horizon {
+		t.Fatalf("PerStage length %d", len(per))
+	}
+	count := 0
+	for _, evs := range per {
+		count += len(evs)
+	}
+	if count != len(w.Events) {
+		t.Fatalf("PerStage dropped events: %d vs %d", count, len(w.Events))
+	}
+}
+
+func TestChannelDemand(t *testing.T) {
+	d, err := ChannelDemand(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("demand sums to %g", sum)
+	}
+	if math.Abs(d[0]/d[1]-2) > 1e-9 {
+		t.Fatalf("Zipf(1) ratio = %g, want 2", d[0]/d[1])
+	}
+	if _, err := ChannelDemand(0, 1); err == nil {
+		t.Fatal("channels=0 accepted")
+	}
+	if _, err := ChannelDemand(3, -1); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+	uniform, err := ChannelDemand(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range uniform {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("uniform demand %v", uniform)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Join.String() != "join" || Leave.String() != "leave" || Switch.String() != "switch" {
+		t.Fatal("event kind strings wrong")
+	}
+	if EventKind(0).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}

@@ -1,0 +1,255 @@
+// Package xrand provides the deterministic pseudo-random machinery used by
+// every stochastic component of the simulator.
+//
+// All randomness in the repository flows through *xrand.Rand so that a
+// scenario is fully reproducible from a single 64-bit seed. The generator is
+// xoshiro256** seeded through splitmix64, following the reference
+// construction by Blackman and Vigna. The package also carries the
+// distributions the workloads need (uniform, exponential, Poisson, Zipf,
+// categorical) so the higher layers never reach for math/rand and silently
+// lose determinism.
+package xrand
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rand is a deterministic pseudo-random generator (xoshiro256**).
+// It is not safe for concurrent use; give each goroutine its own stream
+// via Split.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given 64-bit seed. Distinct seeds
+// yield statistically independent streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
+	}
+	// xoshiro must not start in the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// splitmix64 advances the splitmix state and returns (newState, output).
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives an independent child generator. The child's stream is a
+// deterministic function of the parent state, and the parent advances, so
+// repeated Splits give distinct streams.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 high bits scaled to [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("xrand: Intn called with n=%d", n))
+	}
+	// Lemire's nearly-divisionless bounded sampling, rejection variant.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul128(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (uint64, uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	w0 := t & mask
+	k := t >> 32
+	t = aHi*bLo + k
+	w1 := t & mask
+	w2 := t >> 32
+	t = aLo*bHi + w1
+	k = t >> 32
+	return aHi*bHi + w2 + k, (t << 32) + w0
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle applies a Fisher-Yates shuffle over n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("xrand: Exp called with rate=%g", rate))
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Poisson returns a Poisson-distributed count with the given mean.
+// It uses inversion for small means and the PTRS transformed-rejection
+// sampler for large means.
+func (r *Rand) Poisson(mean float64) int {
+	switch {
+	case mean < 0:
+		panic(fmt.Sprintf("xrand: Poisson called with mean=%g", mean))
+	case mean == 0:
+		return 0
+	case mean < 30:
+		// Knuth inversion.
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		// Normal approximation with continuity correction is sufficient for
+		// workload generation at large means; clamp at zero.
+		n := r.Norm(mean, math.Sqrt(mean))
+		if n < 0 {
+			return 0
+		}
+		return int(n + 0.5)
+	}
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation (Marsaglia polar method).
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Categorical samples an index with probability proportional to weights[i].
+// Weights must be non-negative and sum to a positive value.
+func (r *Rand) Categorical(weights []float64) int {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("xrand: Categorical weight[%d]=%g", i, w))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("xrand: Categorical weights sum to zero")
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last index with positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Zipf draws values in [1, n] with P(k) proportional to 1/k^s.
+// It precomputes the CDF, so construction is O(n) and sampling O(log n).
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over [1, n] with exponent s >= 0.
+func NewZipf(r *Rand, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("xrand: NewZipf with n=%d", n))
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("xrand: NewZipf with s=%g", s))
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for k := 1; k <= n; k++ {
+		acc += 1 / math.Pow(float64(k), s)
+		cdf[k-1] = acc
+	}
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Draw samples a rank in [1, n].
+func (z *Zipf) Draw() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}

@@ -1,0 +1,210 @@
+// Package rths is the public API of the RTHS reproduction — an
+// implementation of "Decentralized Adaptive Helper Selection in
+// Multi-channel P2P Streaming Systems" (Mostafavi & Dehghan, ICDCS 2014).
+//
+// The paper's contribution is a decentralized learning rule — regret
+// tracking — with which selfish peers choosing among helper micro-servers
+// converge to the correlated-equilibrium set of the induced congestion
+// game, under Markov-modulated helper bandwidth, using nothing but their
+// own realized streaming rates.
+//
+// # Quick start
+//
+//	sys, err := rths.NewSystem(rths.SystemConfig{
+//		NumPeers: 10,
+//		Helpers: []rths.HelperSpec{
+//			rths.DefaultHelperSpec(), rths.DefaultHelperSpec(),
+//			rths.DefaultHelperSpec(), rths.DefaultHelperSpec(),
+//		},
+//		Seed: 42,
+//	})
+//	if err != nil { ... }
+//	err = sys.Run(4000, func(r rths.StageResult) {
+//		// r.Rates, r.Loads, r.Welfare ...
+//	})
+//
+// Reproduction entry points for the paper's figures live behind Scenario
+// (see SmallScale and LargeScale) and the Fig1..Fig5 runners; the
+// comparison baselines and ablations are exposed through the same surface.
+// Everything is deterministic given Seed.
+package rths
+
+import (
+	"rths/internal/alloc"
+	"rths/internal/core"
+	"rths/internal/experiment"
+	"rths/internal/metrics"
+	"rths/internal/netsim"
+	"rths/internal/overlay"
+	"rths/internal/regret"
+	"rths/internal/streaming"
+	"rths/internal/trace"
+	"rths/internal/xrand"
+)
+
+// Core system types.
+type (
+	// SystemConfig configures a single-channel helper-selection system.
+	SystemConfig = core.Config
+	// System is a running helper-selection simulation.
+	System = core.System
+	// HelperSpec describes one helper's Markov bandwidth process.
+	HelperSpec = core.HelperSpec
+	// StageResult is the per-stage global view.
+	StageResult = core.StageResult
+	// Selector is a pluggable per-peer selection policy.
+	Selector = core.Selector
+	// SelectorFactory builds policies for a system's peers.
+	SelectorFactory = core.SelectorFactory
+)
+
+// Learning types.
+type (
+	// Learner is the paper's R2HS regret-tracking learner.
+	Learner = regret.Learner
+	// LearnerConfig parameterizes a learner (ε, δ, μ, mode).
+	LearnerConfig = regret.Config
+	// LearnerMode selects tracking / matching / paper-exact averaging.
+	LearnerMode = regret.Mode
+)
+
+// Learner modes.
+const (
+	ModeTracking   = regret.ModeTracking
+	ModeMatching   = regret.ModeMatching
+	ModePaperExact = regret.ModePaperExact
+)
+
+// Experiment types.
+type (
+	// Scenario is a reproduction scenario (population, horizon, bandwidth).
+	Scenario = experiment.Scenario
+	// Table is a rendered experiment artifact.
+	Table = experiment.Table
+)
+
+// Multi-channel and distributed-runtime types.
+type (
+	// MultiChannelConfig configures a multi-channel overlay.
+	MultiChannelConfig = overlay.Config
+	// ChannelConfig describes one live channel.
+	ChannelConfig = overlay.ChannelConfig
+	// MultiChannel is a running multi-channel system.
+	MultiChannel = overlay.Multi
+	// MultiChannelResult aggregates one stage across channels.
+	MultiChannelResult = overlay.StepResult
+	// ChannelResult is one channel's view of a completed stage.
+	ChannelResult = overlay.ChannelResult
+	// DistributedConfig configures the goroutine-per-node runtime.
+	DistributedConfig = netsim.Config
+	// Distributed is the message-passing runtime.
+	Distributed = netsim.Runtime
+	// EpochStats is the distributed runtime's per-epoch aggregate.
+	EpochStats = netsim.EpochStats
+	// ChannelDemand is one channel's aggregate demand for helper allocation.
+	ChannelDemand = alloc.Channel
+	// ChurnConfig parameterizes workload generation.
+	ChurnConfig = trace.ChurnConfig
+	// Workload is a replayable churn trace.
+	Workload = trace.Workload
+	// Server is the origin server absorbing unmet demand.
+	Server = streaming.Server
+	// Buffer is a peer's playout buffer.
+	Buffer = streaming.Buffer
+	// RegretAudit computes clairvoyant regrets from the global view.
+	RegretAudit = metrics.RegretAudit
+	// Rand is the deterministic random stream that drives all sampling
+	// (xoshiro256**; every component takes one so runs replay from a seed).
+	Rand = xrand.Rand
+)
+
+// NewSystem builds a single-channel helper-selection system. With a nil
+// Factory every peer runs the paper's RTHS learner with calibrated
+// defaults.
+func NewSystem(cfg SystemConfig) (*System, error) { return core.New(cfg) }
+
+// DefaultHelperSpec is the paper's [700,800,900] kbps slowly-switching
+// helper bandwidth process.
+func DefaultHelperSpec() HelperSpec { return core.DefaultHelperSpec() }
+
+// NewLearner builds a standalone R2HS learner (e.g. to embed in another
+// system). See DefaultLearnerConfig.
+func NewLearner(cfg LearnerConfig) (*Learner, error) { return regret.New(cfg) }
+
+// DefaultLearnerConfig returns the calibrated learner parameters for the
+// given action count and utility scale (use 1 when utilities are
+// normalized).
+func DefaultLearnerConfig(numActions int, utilityScale float64) LearnerConfig {
+	return regret.Defaults(numActions, utilityScale)
+}
+
+// NewMultiChannel builds a multi-channel overlay system.
+func NewMultiChannel(cfg MultiChannelConfig) (*MultiChannel, error) { return overlay.New(cfg) }
+
+// NewDistributed builds the goroutine-per-node message-passing runtime.
+func NewDistributed(cfg DistributedConfig) (*Distributed, error) { return netsim.New(cfg) }
+
+// AllocateHelpers assigns a helper pool to channels greedily by largest
+// remaining deficit (the paper's §V future work: helper-level bandwidth
+// allocation above peer-level selection). It returns helper -> channel.
+func AllocateHelpers(channels []ChannelDemand, capacities []float64) ([]int, error) {
+	return alloc.Greedy(channels, capacities)
+}
+
+// SplitHelperPool returns per-channel helper counts proportional to the
+// channels' demands (largest-remainder rounding).
+func SplitHelperPool(channels []ChannelDemand, poolSize int) ([]int, error) {
+	return alloc.Proportional(channels, poolSize)
+}
+
+// GenerateChurn produces a replayable workload trace.
+func GenerateChurn(cfg ChurnConfig) (*Workload, error) { return trace.GenerateChurn(cfg) }
+
+// NewServer builds an origin server with the given capacity (kbps).
+func NewServer(capacity float64) (*Server, error) { return streaming.NewServer(capacity) }
+
+// NewBuffer builds a playout buffer for the given bitrate and startup
+// threshold (stages of media).
+func NewBuffer(bitrate, startupStages float64) (*Buffer, error) {
+	return streaming.NewBuffer(bitrate, startupStages)
+}
+
+// NewRand returns a deterministic random stream for standalone learners.
+func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// NewRegretAudit sizes a clairvoyant regret audit.
+func NewRegretAudit(numPeers, numHelpers int) (*RegretAudit, error) {
+	return metrics.NewRegretAudit(numPeers, numHelpers)
+}
+
+// SmallScale is the paper's Fig-2 scenario (N=10 peers, H=4 helpers).
+func SmallScale() Scenario { return experiment.SmallScale() }
+
+// LargeScale is the Fig-1 scenario (N=200 peers, H=20 helpers).
+func LargeScale() Scenario { return experiment.LargeScale() }
+
+// Figure runners (paper evaluation artifacts).
+var (
+	// Fig1 reproduces the worst-player regret decay.
+	Fig1 = experiment.Fig1
+	// Fig2 reproduces the welfare-vs-centralized-MDP comparison.
+	Fig2 = experiment.Fig2
+	// Fig3 reproduces the helper load distribution.
+	Fig3 = experiment.Fig3
+	// Fig4 reproduces the per-peer bandwidth fairness.
+	Fig4 = experiment.Fig4
+	// Fig5 reproduces the server-load-vs-deficit comparison.
+	Fig5 = experiment.Fig5
+)
+
+// Ablation runners (design-choice experiments from DESIGN.md).
+var (
+	// AblationPolicies compares RTHS with the baseline policies (A1).
+	AblationPolicies = experiment.AblationPolicies
+	// AblationShift measures adaptation to a capacity swap (A2).
+	AblationShift = experiment.AblationShift
+	// AblationSweep grids over (ε, δ, μ) (A3).
+	AblationSweep = experiment.AblationSweep
+	// AblationRecursion compares decayed vs literal eq. 3-5 updates (A4).
+	AblationRecursion = experiment.AblationRecursion
+)

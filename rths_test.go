@@ -1,0 +1,89 @@
+package rths_test
+
+import (
+	"testing"
+
+	"rths"
+)
+
+// The facade must expose a working end-to-end path without touching any
+// internal package directly.
+func TestFacadeQuickstartPath(t *testing.T) {
+	sys, err := rths.NewSystem(rths.SystemConfig{
+		NumPeers: 6,
+		Helpers: []rths.HelperSpec{
+			rths.DefaultHelperSpec(),
+			rths.DefaultHelperSpec(),
+			rths.DefaultHelperSpec(),
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := rths.NewRegretAudit(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	welfare, optimum := 0.0, 0.0
+	err = sys.Run(2000, func(r rths.StageResult) {
+		if err := audit.Observe(r.Actions, r.Loads, r.Capacities); err != nil {
+			t.Fatal(err)
+		}
+		if r.Stage >= 1000 {
+			welfare += r.Welfare
+			optimum += r.OptWelfare
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := welfare / optimum; frac < 0.9 {
+		t.Fatalf("facade run welfare fraction = %g", frac)
+	}
+	if audit.WorstRegret() > 120 {
+		t.Fatalf("facade run worst regret = %g", audit.WorstRegret())
+	}
+}
+
+func TestFacadeLearnerStandsAlone(t *testing.T) {
+	cfg := rths.DefaultLearnerConfig(3, 1)
+	if cfg.NumActions != 3 {
+		t.Fatalf("config actions = %d", cfg.NumActions)
+	}
+	l, err := rths.NewLearner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumActions() != 3 {
+		t.Fatalf("learner actions = %d", l.NumActions())
+	}
+}
+
+func TestFacadeScenarios(t *testing.T) {
+	small, large := rths.SmallScale(), rths.LargeScale()
+	if small.NumPeers != 10 || small.NumHelpers != 4 {
+		t.Fatalf("small scale %d×%d", small.NumPeers, small.NumHelpers)
+	}
+	if large.NumPeers <= small.NumPeers {
+		t.Fatal("large scale not larger than small scale")
+	}
+}
+
+func TestFacadeChurnWorkload(t *testing.T) {
+	w, err := rths.GenerateChurn(rths.ChurnConfig{
+		Horizon: 100, ArrivalRate: 0.5, MeanLifetime: 20, Channels: 2, ZipfS: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Events) == 0 {
+		t.Fatal("no events generated")
+	}
+	w.OffsetPeerIDs(50)
+	for _, e := range w.Events {
+		if e.PeerID < 50 {
+			t.Fatalf("offset not applied: %+v", e)
+		}
+	}
+}
