@@ -213,4 +213,68 @@ func BenchmarkSequentialSystem(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.N)*500/b.Elapsed().Seconds(), "stages/sec")
+}
+
+// benchHotPath measures the steady-state per-stage cost of System.Step —
+// construction excluded, so allocs/op is the per-stage allocation count
+// (pinned to 0 by TestStepZeroAllocs) and ns/op is the stage latency.
+func benchHotPath(b *testing.B, peers, helpers, workers int) {
+	specs := make([]rths.HelperSpec, helpers)
+	for j := range specs {
+		specs[j] = rths.DefaultHelperSpec()
+	}
+	sys, err := rths.NewSystem(rths.SystemConfig{
+		NumPeers: peers, Helpers: specs, Seed: 1, Workers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up learners and buffers so b.N stages measure steady state.
+	if err := sys.Run(8, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "stages/sec")
+	b.ReportMetric(float64(b.N)*float64(peers)/b.Elapsed().Seconds(), "peerstages/sec")
+}
+
+// BenchmarkHotPathStep tracks the stage-engine throughput across population
+// scales; cmd/hotbench emits the same quantities to BENCH_hotpath.json so
+// the trajectory is recorded across PRs.
+func BenchmarkHotPathStep(b *testing.B) {
+	b.Run("N=10/H=4/seq", func(b *testing.B) { benchHotPath(b, 10, 4, 0) })
+	b.Run("N=1000/H=16/seq", func(b *testing.B) { benchHotPath(b, 1000, 16, 0) })
+	b.Run("N=1000/H=16/workers=8", func(b *testing.B) { benchHotPath(b, 1000, 16, 8) })
+	b.Run("N=100000/H=16/seq", func(b *testing.B) { benchHotPath(b, 100000, 16, 0) })
+	b.Run("N=100000/H=16/workers=8", func(b *testing.B) { benchHotPath(b, 100000, 16, 8) })
+}
+
+// BenchmarkStressScenario runs the LargeScale-derived stress scenario end
+// to end (construction included) on the parallel engine.
+func BenchmarkStressScenario(b *testing.B) {
+	s := rths.StressScale()
+	s.NumPeers, s.NumHelpers, s.Stages = 2000, 32, 200
+	specs := make([]rths.HelperSpec, s.NumHelpers)
+	for j := range specs {
+		specs[j] = rths.HelperSpec{Levels: s.Levels, SwitchProb: s.SwitchProb, InitState: -1}
+	}
+	for i := 0; i < b.N; i++ {
+		sys, err := rths.NewSystem(rths.SystemConfig{
+			NumPeers: s.NumPeers, Helpers: specs, Seed: s.Seed, Workers: s.Workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(s.Stages, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(s.Stages)/b.Elapsed().Seconds(), "stages/sec")
 }

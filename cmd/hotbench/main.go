@@ -1,0 +1,224 @@
+// Command hotbench measures the simulator's hot-path cost model — stage
+// throughput, per-stage allocations, and the learner's per-update cost
+// across action-set sizes — and writes the results to BENCH_hotpath.json.
+// Run it before and after a performance change and diff the JSON; PERF.md
+// documents how to read the numbers. The measurement loops are plain timed
+// runs (not testing.B), so the tool works as a standalone binary in CI and
+// keeps a machine-readable perf trajectory across PRs.
+//
+// Usage:
+//
+//	hotbench [-out BENCH_hotpath.json] [-stages 200] [-full]
+//
+// -full adds the N=100k population (slow; several seconds per scenario).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rths"
+	"rths/internal/xrand"
+)
+
+// Report is the schema of BENCH_hotpath.json.
+type Report struct {
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Timestamp  string           `json:"timestamp"`
+	Stages     int              `json:"stages_per_scenario"`
+	Scenarios  []ScenarioResult `json:"scenarios"`
+	Learner    []LearnerResult  `json:"learner_update"`
+}
+
+// ScenarioResult is one stage-engine measurement.
+type ScenarioResult struct {
+	Name             string  `json:"name"`
+	Peers            int     `json:"peers"`
+	Helpers          int     `json:"helpers"`
+	Workers          int     `json:"workers"`
+	Stages           int     `json:"stages"`
+	NsPerStage       float64 `json:"ns_per_stage"`
+	StagesPerSec     float64 `json:"stages_per_sec"`
+	PeerStagesPerSec float64 `json:"peer_stages_per_sec"`
+	AllocsPerStage   float64 `json:"allocs_per_stage"`
+	BytesPerStage    float64 `json:"bytes_per_stage"`
+}
+
+// LearnerResult is one learner-scaling measurement (O(m) check: ns/update
+// should grow linearly in m, not quadratically).
+type LearnerResult struct {
+	M           int     `json:"m"`
+	NsPerOp     float64 `json:"ns_per_update"`
+	AllocsPerOp float64 `json:"allocs_per_update"`
+}
+
+type scenarioSpec struct {
+	name    string
+	peers   int
+	helpers int
+	workers int
+}
+
+func defaultScenarios(full bool) []scenarioSpec {
+	specs := []scenarioSpec{
+		{"small-seq", 10, 4, 0},
+		{"mid-seq", 1000, 16, 0},
+		{"mid-workers8", 1000, 16, 8},
+		{"large-seq", 20000, 16, 0},
+	}
+	if full {
+		specs = append(specs,
+			scenarioSpec{"xlarge-seq", 100000, 16, 0},
+			scenarioSpec{"xlarge-workers8", 100000, 16, 8},
+		)
+	}
+	return specs
+}
+
+// measureScenario runs `stages` steady-state stages of the given system
+// shape and reports per-stage time and allocation counts (construction and
+// warmup excluded).
+func measureScenario(spec scenarioSpec, stages int) (ScenarioResult, error) {
+	helpers := make([]rths.HelperSpec, spec.helpers)
+	for j := range helpers {
+		helpers[j] = rths.DefaultHelperSpec()
+	}
+	sys, err := rths.NewSystem(rths.SystemConfig{
+		NumPeers: spec.peers,
+		Helpers:  helpers,
+		Seed:     1,
+		Workers:  spec.workers,
+	})
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("%s: %w", spec.name, err)
+	}
+	if err := sys.Run(8, nil); err != nil {
+		return ScenarioResult{}, fmt.Errorf("%s warmup: %w", spec.name, err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := sys.Run(stages, nil); err != nil {
+		return ScenarioResult{}, fmt.Errorf("%s: %w", spec.name, err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / float64(stages)
+	return ScenarioResult{
+		Name:             spec.name,
+		Peers:            spec.peers,
+		Helpers:          spec.helpers,
+		Workers:          spec.workers,
+		Stages:           stages,
+		NsPerStage:       ns,
+		StagesPerSec:     1e9 / ns,
+		PeerStagesPerSec: 1e9 / ns * float64(spec.peers),
+		AllocsPerStage:   float64(after.Mallocs-before.Mallocs) / float64(stages),
+		BytesPerStage:    float64(after.TotalAlloc-before.TotalAlloc) / float64(stages),
+	}, nil
+}
+
+// measureLearner times the standalone Select+Update cycle at action-set
+// size m — the O(m) scaling evidence for the lazy-decay rewrite.
+func measureLearner(m, iters int) (LearnerResult, error) {
+	l, err := rths.NewLearner(rths.DefaultLearnerConfig(m, 1))
+	if err != nil {
+		return LearnerResult{}, err
+	}
+	r := xrand.New(1)
+	for i := 0; i < 256; i++ { // warmup
+		if err := l.Update(l.Select(r), 0.5); err != nil {
+			return LearnerResult{}, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := l.Update(l.Select(r), 0.5); err != nil {
+			return LearnerResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return LearnerResult{
+		M:           m,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+	}, nil
+}
+
+// buildReport runs every measurement; split from main so the test can
+// exercise the full pipeline with a trimmed budget.
+func buildReport(stages int, full bool) (*Report, error) {
+	rep := &Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Stages:     stages,
+	}
+	for _, spec := range defaultScenarios(full) {
+		res, err := measureScenario(spec, stages)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	learnerIters := stages * 500
+	if learnerIters > 200000 {
+		learnerIters = 200000
+	}
+	for _, m := range []int{4, 32, 256} {
+		res, err := measureLearner(m, learnerIters)
+		if err != nil {
+			return nil, err
+		}
+		rep.Learner = append(rep.Learner, res)
+	}
+	return rep, nil
+}
+
+func writeReport(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "output path for the JSON report")
+	stages := flag.Int("stages", 200, "steady-state stages measured per scenario")
+	full := flag.Bool("full", false, "include the N=100k scenarios (slow)")
+	flag.Parse()
+	if *stages <= 0 {
+		fmt.Fprintln(os.Stderr, "hotbench: -stages must be positive")
+		os.Exit(2)
+	}
+	rep, err := buildReport(*stages, *full)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotbench:", err)
+		os.Exit(1)
+	}
+	if err := writeReport(rep, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "hotbench:", err)
+		os.Exit(1)
+	}
+	for _, s := range rep.Scenarios {
+		fmt.Printf("%-16s N=%-6d H=%-3d W=%-2d  %12.0f ns/stage  %10.0f peer-stages/sec  %6.2f allocs/stage\n",
+			s.Name, s.Peers, s.Helpers, s.Workers, s.NsPerStage, s.PeerStagesPerSec, s.AllocsPerStage)
+	}
+	for _, l := range rep.Learner {
+		fmt.Printf("learner m=%-4d  %8.1f ns/update  %6.2f allocs/update\n", l.M, l.NsPerOp, l.AllocsPerOp)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The full pipeline must produce a parseable report whose scenarios cover
+// both engines, with the sequential stage loop allocation-free.
+func TestBuildAndWriteReport(t *testing.T) {
+	rep, err := buildReport(24, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) == 0 || len(rep.Learner) != 3 {
+		t.Fatalf("report shape: %d scenarios, %d learner points", len(rep.Scenarios), len(rep.Learner))
+	}
+	seenSeq, seenPar := false, false
+	for _, s := range rep.Scenarios {
+		if s.StagesPerSec <= 0 || s.NsPerStage <= 0 {
+			t.Fatalf("%s: non-positive throughput %+v", s.Name, s)
+		}
+		if s.Workers == 0 {
+			seenSeq = true
+			if s.AllocsPerStage != 0 {
+				t.Errorf("%s: sequential engine allocates %g/stage, want 0", s.Name, s.AllocsPerStage)
+			}
+		} else {
+			seenPar = true
+		}
+	}
+	if !seenSeq || !seenPar {
+		t.Fatalf("scenarios must cover both engines (seq=%v par=%v)", seenSeq, seenPar)
+	}
+	for _, l := range rep.Learner {
+		if l.NsPerOp <= 0 {
+			t.Fatalf("learner m=%d: ns/op %g", l.M, l.NsPerOp)
+		}
+		if l.AllocsPerOp != 0 {
+			t.Errorf("learner m=%d allocates %g/update, want 0", l.M, l.AllocsPerOp)
+		}
+	}
+	// The O(m) claim: going 32 -> 256 (8x m) must stay well below the
+	// ~64x growth an O(m²) update would show. The bound is loose (16x)
+	// because tiny timed loops are noisy in CI.
+	var ns32, ns256 float64
+	for _, l := range rep.Learner {
+		switch l.M {
+		case 32:
+			ns32 = l.NsPerOp
+		case 256:
+			ns256 = l.NsPerOp
+		}
+	}
+	if ns256 > 16*ns32 {
+		t.Errorf("learner update scaling 32->256: %.1f -> %.1f ns (>16x) — not O(m)", ns32, ns256)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := writeReport(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed Report
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("emitted JSON does not round-trip: %v", err)
+	}
+	if parsed.GoVersion == "" || len(parsed.Scenarios) != len(rep.Scenarios) {
+		t.Fatalf("round-tripped report lost fields: %+v", parsed)
+	}
+}

@@ -74,6 +74,7 @@ func run(args []string) error {
 	policy := fs.String("policy", "rths",
 		"selection policy: rths, matching, paper-exact, best-response, random, egreedy, least-loaded, static")
 	demand := fs.Float64("demand", 0, "per-peer demand in kbps (0 disables server accounting)")
+	workers := fs.Int("workers", 0, "sharded parallel step engine worker count (0 = sequential)")
 	csv := fs.Bool("csv", false, "emit per-stage CSV instead of a summary")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +94,7 @@ func run(args []string) error {
 		Factory:       factory,
 		Seed:          *seed,
 		DemandPerPeer: *demand,
+		Workers:       *workers,
 	})
 	if err != nil {
 		return err

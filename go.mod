@@ -1,0 +1,3 @@
+module rths
+
+go 1.24

@@ -16,7 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"sync"
 
 	"rths/internal/markov"
 	"rths/internal/regret"
@@ -125,6 +125,15 @@ type Config struct {
 	// DemandPerPeer is each peer's streaming demand in kbps, used by the
 	// server-load accounting (Fig 5). Zero disables demand tracking.
 	DemandPerPeer float64
+	// Workers enables the sharded parallel step engine: peers are strided
+	// across Workers shards, each with its own deterministic RNG stream,
+	// and the per-stage select/feedback passes run on a shard-per-worker
+	// pool once the population is large enough to amortize the fan-out.
+	// 0 or 1 selects the sequential engine. Results are deterministic and
+	// seed-reproducible for a fixed (Seed, Workers) pair; different Workers
+	// values consume different RNG streams and therefore realize different
+	// (statistically equivalent) trajectories.
+	Workers int
 }
 
 type helper struct {
@@ -135,8 +144,30 @@ type helper struct {
 func (h *helper) capacity() float64 { return h.levels[h.proc.State()] }
 
 type peer struct {
-	sel    Selector
+	sel Selector
+	// lrn is non-nil when sel is the RTHS learner: the stage loops call it
+	// directly (no itab dispatch) in that common case.
+	lrn    *regret.Learner
 	demand float64
+}
+
+func newPeer(sel Selector, demand float64) *peer {
+	lrn, _ := sel.(*regret.Learner)
+	return &peer{sel: sel, lrn: lrn, demand: demand}
+}
+
+func (p *peer) selectHelper(r *xrand.Rand) int {
+	if p.lrn != nil {
+		return p.lrn.Select(r)
+	}
+	return p.sel.Select(r)
+}
+
+func (p *peer) feedback(action int, utility float64) error {
+	if p.lrn != nil {
+		return p.lrn.Update(action, utility)
+	}
+	return p.sel.Update(action, utility)
 }
 
 // System is a running helper-selection simulation.
@@ -147,10 +178,46 @@ type System struct {
 	scale   float64 // max level across helpers; normalizes utilities
 	stage   int
 
-	// reusable buffers
-	actions []int
-	loads   []int
+	// Reusable stage buffers: Step fills these in place every stage and
+	// hands them out through StageResult without copying, keeping the
+	// steady-state hot path allocation-free.
+	actions     []int
+	loads       []int
+	caps        []float64 // helper capacities this stage
+	rates       []float64 // per-peer realized rates
+	helperRates []float64 // per-helper C_j/load_j (one division per helper)
+	capScratch  []float64 // optWelfare partial-selection workspace
+
+	// observers caches the peers whose policies watch the global stage
+	// outcome, so the per-stage notification loop skips the type assertion
+	// for pure-bandit populations (the paper's setting: no observers).
+	observers []StageObserver
+
+	// Sharded parallel engine (Config.Workers > 1).
+	workers    int
+	shardRngs  []*xrand.Rand // per-shard selection streams
+	shardLoads [][]int       // per-shard load accumulators
+	shards     []shardState  // per-shard feedback partials
+	selectFn   func(k int)   // bound shardSelect, hoisted so Step stays alloc-free
+	feedbackFn func(k int)   // bound shardFeedback, same reason
 }
+
+// shardState holds one shard's per-stage partial aggregates, padded to a
+// cache line so parallel workers do not false-share.
+type shardState struct {
+	welfare    float64
+	serverLoad float64
+	demandSum  float64
+	err        error
+	_          [3]uint64
+}
+
+// shardMinPeersPerWorker gates goroutine fan-out: below this many peers per
+// shard the parallel engine runs its shards inline (same RNG streams, same
+// results) because goroutine handoff would cost more than the stage work.
+// A var rather than a const so tests can pin either execution mode and
+// assert the two are bit-identical.
+var shardMinPeersPerWorker = 64
 
 // StageResult is the global view of one completed stage.
 type StageResult struct {
@@ -199,6 +266,9 @@ func New(cfg Config) (*System, error) {
 	if cfg.DemandPerPeer < 0 {
 		return nil, fmt.Errorf("core: DemandPerPeer=%g", cfg.DemandPerPeer)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: Workers=%d", cfg.Workers)
+	}
 	factory := cfg.Factory
 	if factory == nil {
 		factory = RTHSFactory()
@@ -230,11 +300,41 @@ func New(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("core: selector for peer %d has %d actions, want %d",
 				i, sel.NumActions(), len(cfg.Helpers))
 		}
-		s.peers = append(s.peers, &peer{sel: sel, demand: cfg.DemandPerPeer})
+		s.peers = append(s.peers, newPeer(sel, cfg.DemandPerPeer))
 	}
 	s.actions = make([]int, len(s.peers))
 	s.loads = make([]int, len(s.helpers))
+	s.caps = make([]float64, len(s.helpers))
+	s.rates = make([]float64, len(s.peers))
+	s.helperRates = make([]float64, len(s.helpers))
+	s.capScratch = make([]float64, len(s.helpers))
+	if cfg.Workers > 1 {
+		s.workers = cfg.Workers
+		s.shardRngs = make([]*xrand.Rand, s.workers)
+		s.shardLoads = make([][]int, s.workers)
+		s.shards = make([]shardState, s.workers)
+		for k := range s.shardRngs {
+			// Independent per-shard streams, split deterministically from
+			// the master stream after all construction-time draws.
+			s.shardRngs[k] = rng.Split()
+			s.shardLoads[k] = make([]int, len(s.helpers))
+		}
+		s.selectFn = s.shardSelect
+		s.feedbackFn = s.shardFeedback
+	}
+	s.rebuildObservers()
 	return s, nil
+}
+
+// rebuildObservers recomputes the cached StageObserver list from scratch
+// (construction and RemovePeer; AddPeer appends incrementally).
+func (s *System) rebuildObservers() {
+	s.observers = s.observers[:0]
+	for _, p := range s.peers {
+		if obs, ok := p.sel.(StageObserver); ok {
+			s.observers = append(s.observers, obs)
+		}
+	}
 }
 
 func newHelper(spec HelperSpec, rng *xrand.Rand) (*helper, error) {
@@ -283,7 +383,9 @@ func (s *System) Stage() int { return s.stage }
 // UtilityScale returns the normalization constant (max helper level).
 func (s *System) UtilityScale() float64 { return s.scale }
 
-// Capacities returns the helpers' current bandwidths.
+// Capacities returns a fresh copy of the helpers' current bandwidths. The
+// hot path does not use it (Step fills a reusable buffer instead); it is
+// the inspection accessor for tests and tools.
 func (s *System) Capacities() []float64 {
 	caps := make([]float64, len(s.helpers))
 	for j, h := range s.helpers {
@@ -296,98 +398,247 @@ func (s *System) Capacities() []float64 {
 func (s *System) Selector(i int) Selector { return s.peers[i].sel }
 
 // Step advances the system one stage: bandwidth chains move, every peer
-// selects a helper, rates are realized and fed back. The returned result
-// reuses internal buffers; call Clone to retain it.
+// selects a helper, rates are realized and fed back. The returned result's
+// slices alias internal buffers that the next Step overwrites — call Clone
+// to retain a result across stages. The steady-state sequential path is
+// allocation-free (pinned by TestStepZeroAllocs); with Config.Workers > 1
+// the selection and feedback passes run sharded on a worker pool.
 func (s *System) Step() (StageResult, error) {
+	var res StageResult
+	err := s.stepInto(&res)
+	return res, err
+}
+
+// stepInto is Step with the result written in place, letting Run drive the
+// stage loop without copying a StageResult per stage.
+func (s *System) stepInto(res *StageResult) error {
 	// 1. Environment moves (exogenous, independent of play).
 	for _, h := range s.helpers {
 		h.proc.Step()
 	}
+	for j, h := range s.helpers {
+		s.caps[j] = h.capacity()
+	}
 	// 2. Simultaneous selection.
-	for j := range s.loads {
-		s.loads[j] = 0
-	}
-	for i, p := range s.peers {
-		a := p.sel.Select(s.rng)
-		if a < 0 || a >= len(s.helpers) {
-			return StageResult{}, fmt.Errorf("core: peer %d selected invalid helper %d", i, a)
+	if s.workers > 1 {
+		if err := s.selectSharded(); err != nil {
+			return err
 		}
-		s.actions[i] = a
-		s.loads[a]++
+	} else {
+		for j := range s.loads {
+			s.loads[j] = 0
+		}
+		for i, p := range s.peers {
+			a := p.selectHelper(s.rng)
+			if a < 0 || a >= len(s.helpers) {
+				return fmt.Errorf("core: peer %d selected invalid helper %d", i, a)
+			}
+			s.actions[i] = a
+			s.loads[a]++
+		}
 	}
-	// 3. Realized rates and bandit feedback.
-	caps := s.Capacities()
-	rates := make([]float64, len(s.peers))
-	welfare := 0.0
-	serverLoad := 0.0
-	demandSum := 0.0
-	for i, p := range s.peers {
-		j := s.actions[i]
-		rates[i] = caps[j] / float64(s.loads[j])
-		welfare += rates[i]
-		if p.demand > 0 {
-			demandSum += p.demand
-			if short := p.demand - rates[i]; short > 0 {
-				serverLoad += short
+	// 3. Realized rates and bandit feedback. One division per helper, not
+	// per peer: every peer on helper j receives the same C_j/load_j.
+	capSum := 0.0
+	for j, c := range s.caps {
+		capSum += c
+		if s.loads[j] > 0 {
+			s.helperRates[j] = c / float64(s.loads[j])
+		} else {
+			s.helperRates[j] = 0
+		}
+	}
+	var welfare, serverLoad, demandSum float64
+	if s.workers > 1 {
+		var err error
+		welfare, serverLoad, demandSum, err = s.feedbackSharded()
+		if err != nil {
+			return err
+		}
+	} else {
+		for i, p := range s.peers {
+			r := s.helperRates[s.actions[i]]
+			s.rates[i] = r
+			welfare += r
+			if p.demand > 0 {
+				demandSum += p.demand
+				if short := p.demand - r; short > 0 {
+					serverLoad += short
+				}
+			}
+			if err := p.feedback(s.actions[i], r/s.scale); err != nil {
+				return fmt.Errorf("core: peer %d feedback: %w", i, err)
 			}
 		}
-		if err := p.sel.Update(s.actions[i], rates[i]/s.scale); err != nil {
-			return StageResult{}, fmt.Errorf("core: peer %d feedback: %w", i, err)
-		}
-	}
-	capSum := 0.0
-	for _, c := range caps {
-		capSum += c
 	}
 	minDeficit := demandSum - capSum
 	if minDeficit < 0 {
 		minDeficit = 0
 	}
-	res := StageResult{
-		Stage:      s.stage,
-		Actions:    s.actions,
-		Loads:      s.loads,
-		Capacities: caps,
-		Rates:      rates,
-		Welfare:    welfare,
-		OptWelfare: optWelfare(caps, len(s.peers)),
-		ServerLoad: serverLoad,
-		MinDeficit: minDeficit,
-	}
-	for _, p := range s.peers {
-		if obs, ok := p.sel.(StageObserver); ok {
-			obs.ObserveStage(res)
-		}
+	res.Stage = s.stage
+	res.Actions = s.actions
+	res.Loads = s.loads
+	res.Capacities = s.caps
+	res.Rates = s.rates
+	res.Welfare = welfare
+	res.OptWelfare = s.optWelfare(capSum)
+	res.ServerLoad = serverLoad
+	res.MinDeficit = minDeficit
+	for _, obs := range s.observers {
+		obs.ObserveStage(*res)
 	}
 	s.stage++
-	return res, nil
+	return nil
+}
+
+// selectSharded runs the selection pass over peer shards (peer i belongs to
+// shard i mod workers), then reduces the per-shard load counts in shard
+// order so the result is independent of goroutine scheduling.
+func (s *System) selectSharded() error {
+	s.runShards(s.selectFn)
+	for j := range s.loads {
+		s.loads[j] = 0
+	}
+	for k := 0; k < s.workers; k++ {
+		for j, l := range s.shardLoads[k] {
+			s.loads[j] += l
+		}
+	}
+	return s.takeShardErr()
+}
+
+// feedbackSharded runs the rate/feedback pass over peer shards and reduces
+// the welfare, server-load and demand partials in shard order (fixed
+// floating-point summation order ⇒ bit-reproducible for a given Workers).
+func (s *System) feedbackSharded() (welfare, serverLoad, demandSum float64, err error) {
+	s.runShards(s.feedbackFn)
+	for k := range s.shards {
+		welfare += s.shards[k].welfare
+		serverLoad += s.shards[k].serverLoad
+		demandSum += s.shards[k].demandSum
+	}
+	return welfare, serverLoad, demandSum, s.takeShardErr()
+}
+
+// shardSelect is shard k's selection pass: sample a helper for every peer
+// in the shard from the shard's private RNG stream, counting loads locally.
+func (s *System) shardSelect(k int) {
+	loads := s.shardLoads[k]
+	for j := range loads {
+		loads[j] = 0
+	}
+	rng := s.shardRngs[k]
+	h := len(s.helpers)
+	for i := k; i < len(s.peers); i += s.workers {
+		a := s.peers[i].selectHelper(rng)
+		if a < 0 || a >= h {
+			if s.shards[k].err == nil {
+				s.shards[k].err = fmt.Errorf("core: peer %d selected invalid helper %d", i, a)
+			}
+			a = 0 // keep the buffers consistent; the error aborts the stage
+		}
+		s.actions[i] = a
+		loads[a]++
+	}
+}
+
+// shardFeedback is shard k's rate/feedback pass: realize each peer's rate,
+// accumulate the shard's welfare/server-load partials, and feed the
+// learners.
+func (s *System) shardFeedback(k int) {
+	st := &s.shards[k]
+	st.welfare, st.serverLoad, st.demandSum = 0, 0, 0
+	for i := k; i < len(s.peers); i += s.workers {
+		p := s.peers[i]
+		r := s.helperRates[s.actions[i]]
+		s.rates[i] = r
+		st.welfare += r
+		if p.demand > 0 {
+			st.demandSum += p.demand
+			if short := p.demand - r; short > 0 {
+				st.serverLoad += short
+			}
+		}
+		if uerr := p.feedback(s.actions[i], r/s.scale); uerr != nil && st.err == nil {
+			st.err = fmt.Errorf("core: peer %d feedback: %w", i, uerr)
+		}
+	}
+}
+
+// runShards executes fn(k) for every shard k. Large populations fan out to
+// one goroutine per shard; small ones run inline — the per-shard RNG
+// streams make both execution modes produce identical results.
+func (s *System) runShards(fn func(k int)) {
+	if len(s.peers) < s.workers*shardMinPeersPerWorker {
+		for k := 0; k < s.workers; k++ {
+			fn(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(s.workers)
+	for k := 0; k < s.workers; k++ {
+		go func(k int) {
+			defer wg.Done()
+			fn(k)
+		}(k)
+	}
+	wg.Wait()
+}
+
+// takeShardErr returns (and clears) the first shard error in shard order.
+func (s *System) takeShardErr() error {
+	var first error
+	for k := range s.shards {
+		if err := s.shards[k].err; err != nil {
+			if first == nil {
+				first = err
+			}
+			s.shards[k].err = nil
+		}
+	}
+	return first
 }
 
 // optWelfare is the stage-optimal social welfare: the sum of the min(N,H)
-// largest capacities.
-func optWelfare(caps []float64, numPeers int) float64 {
-	if numPeers >= len(caps) {
-		sum := 0.0
-		for _, c := range caps {
-			sum += c
-		}
-		return sum
+// largest capacities. capSum is the already-computed total capacity, which
+// answers the common N >= H case without another pass.
+func (s *System) optWelfare(capSum float64) float64 {
+	if len(s.peers) >= len(s.caps) {
+		return capSum
 	}
-	sorted := append([]float64(nil), caps...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	return topSum(s.caps, s.capScratch, len(s.peers))
+}
+
+// topSum returns the sum of the n largest values in caps using scratch
+// (len(scratch) >= len(caps)) as a reusable partial-selection buffer —
+// O(n·H) worst case and allocation-free, replacing the sort-of-a-copy the
+// sequential engine used to pay every stage.
+func topSum(caps, scratch []float64, n int) float64 {
+	sc := scratch[:len(caps)]
+	copy(sc, caps)
 	sum := 0.0
-	for _, c := range sorted[:numPeers] {
-		sum += c
+	for i := 0; i < n; i++ {
+		maxIdx := i
+		for j := i + 1; j < len(sc); j++ {
+			if sc[j] > sc[maxIdx] {
+				maxIdx = j
+			}
+		}
+		sc[i], sc[maxIdx] = sc[maxIdx], sc[i]
+		sum += sc[i]
 	}
 	return sum
 }
 
 // Run advances the system `stages` stages, invoking observe (if non-nil)
-// after each. The observed result reuses buffers; Clone to retain.
+// after each. The observed result's slices alias the same internal buffers
+// Step reuses: read them synchronously inside the callback, or call
+// StageResult.Clone to retain them past it.
 func (s *System) Run(stages int, observe func(StageResult)) error {
+	var res StageResult
 	for k := 0; k < stages; k++ {
-		res, err := s.Step()
-		if err != nil {
+		if err := s.stepInto(&res); err != nil {
 			return err
 		}
 		if observe != nil {
@@ -414,8 +665,14 @@ func (s *System) AddPeer(sel Selector, demand float64) (int, error) {
 	if demand < 0 {
 		return 0, fmt.Errorf("core: AddPeer demand %g", demand)
 	}
-	s.peers = append(s.peers, &peer{sel: sel, demand: demand})
+	s.peers = append(s.peers, newPeer(sel, demand))
 	s.actions = append(s.actions, 0)
+	s.rates = append(s.rates, 0)
+	// Append-only: joining can't change earlier peers' observer status,
+	// so churn-heavy workloads don't pay a full O(n) rescan per join.
+	if obs, ok := sel.(StageObserver); ok {
+		s.observers = append(s.observers, obs)
+	}
 	return len(s.peers) - 1, nil
 }
 
@@ -426,6 +683,8 @@ func (s *System) RemovePeer(i int) error {
 	}
 	s.peers = append(s.peers[:i], s.peers[i+1:]...)
 	s.actions = s.actions[:len(s.peers)]
+	s.rates = s.rates[:len(s.peers)]
+	s.rebuildObservers()
 	return nil
 }
 
@@ -472,6 +731,12 @@ func (s *System) AddHelper(spec HelperSpec) error {
 	}
 	s.helpers = append(s.helpers, h)
 	s.loads = append(s.loads, 0)
+	s.caps = append(s.caps, 0)
+	s.helperRates = append(s.helperRates, 0)
+	s.capScratch = append(s.capScratch, 0)
+	for k := range s.shardLoads {
+		s.shardLoads[k] = append(s.shardLoads[k], 0)
+	}
 	for _, p := range s.peers {
 		p.sel.(DynamicSelector).AddAction()
 	}
@@ -494,6 +759,12 @@ func (s *System) RemoveHelper(j int) error {
 	}
 	s.helpers = append(s.helpers[:j], s.helpers[j+1:]...)
 	s.loads = s.loads[:len(s.helpers)]
+	s.caps = s.caps[:len(s.helpers)]
+	s.helperRates = s.helperRates[:len(s.helpers)]
+	s.capScratch = s.capScratch[:len(s.helpers)]
+	for k := range s.shardLoads {
+		s.shardLoads[k] = s.shardLoads[k][:len(s.helpers)]
+	}
 	for _, p := range s.peers {
 		p.sel.(DynamicSelector).RemoveAction(j)
 	}

@@ -106,11 +106,16 @@ func TestStageResultInvariants(t *testing.T) {
 
 func TestOptWelfareFewPeers(t *testing.T) {
 	caps := []float64{700, 900, 800}
-	if got := optWelfare(caps, 2); got != 1700 {
-		t.Fatalf("optWelfare = %g, want 1700", got)
+	scratch := make([]float64, len(caps))
+	if got := topSum(caps, scratch, 2); got != 1700 {
+		t.Fatalf("topSum(2) = %g, want 1700", got)
 	}
-	if got := optWelfare(caps, 5); got != 2400 {
-		t.Fatalf("optWelfare = %g, want 2400", got)
+	if got := topSum(caps, scratch, 3); got != 2400 {
+		t.Fatalf("topSum(3) = %g, want 2400", got)
+	}
+	// topSum must not disturb its input.
+	if caps[0] != 700 || caps[1] != 900 || caps[2] != 800 {
+		t.Fatalf("topSum mutated caps: %v", caps)
 	}
 }
 

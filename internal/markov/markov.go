@@ -23,7 +23,8 @@ var ErrNotStochastic = errors.New("markov: transition matrix is not row-stochast
 // Chain is a finite discrete-time Markov chain. States are indexed 0..n-1;
 // callers attach their own meaning (e.g. bandwidth levels) to indices.
 type Chain struct {
-	p *mat.Matrix // row-stochastic transition matrix
+	p    *mat.Matrix // row-stochastic transition matrix
+	rows [][]float64 // cached row views: Step samples every stage
 }
 
 // New validates the transition matrix and returns the chain. Rows must be
@@ -49,7 +50,12 @@ func New(transition *mat.Matrix) (*Chain, error) {
 			return nil, fmt.Errorf("%w: row %d sums to %g", ErrNotStochastic, i, sum)
 		}
 	}
-	return &Chain{p: transition.Clone()}, nil
+	c := &Chain{p: transition.Clone()}
+	c.rows = make([][]float64, c.p.Rows)
+	for i := range c.rows {
+		c.rows[i] = c.p.Row(i)
+	}
+	return c, nil
 }
 
 // MustNew is New but panics on error; for package-internal literals.
@@ -67,9 +73,10 @@ func (c *Chain) NumStates() int { return c.p.Rows }
 // Transition returns P(next=j | cur=i).
 func (c *Chain) Transition(i, j int) float64 { return c.p.At(i, j) }
 
-// Step samples the successor of state i.
+// Step samples the successor of state i. Rows are validated row-stochastic
+// at construction, so sampling uses the single-pass normalized path.
 func (c *Chain) Step(r *xrand.Rand, i int) int {
-	return r.Categorical(c.p.Row(i))
+	return r.CategoricalNorm(c.rows[i])
 }
 
 // Stationary returns the stationary distribution π with π = πP, computed by

@@ -48,7 +48,9 @@ type Config struct {
 }
 
 // EpochStats is the coordinator's per-epoch aggregate — the distributed
-// counterpart of core.StageResult.
+// counterpart of core.StageResult. The slices handed to Run's observer are
+// reused by the coordinator across epochs: read them synchronously inside
+// the callback, or Clone to retain them.
 type EpochStats struct {
 	Epoch      int
 	Actions    []int
@@ -56,6 +58,16 @@ type EpochStats struct {
 	Loads      []int
 	Capacities []float64
 	Welfare    float64
+}
+
+// Clone deep-copies the stats so observers may retain them across epochs.
+func (es EpochStats) Clone() EpochStats {
+	cp := es
+	cp.Actions = append([]int(nil), es.Actions...)
+	cp.Rates = append([]float64(nil), es.Rates...)
+	cp.Loads = append([]int(nil), es.Loads...)
+	cp.Capacities = append([]float64(nil), es.Capacities...)
+	return cp
 }
 
 type attachMsg struct {
@@ -99,7 +111,8 @@ type helperNode struct {
 	inbox   chan attachMsg
 	flush   chan flushMsg
 	reports chan<- helperReport
-	pending []attachMsg
+	pending []attachMsg // carry-over attaches from later rounds
+	serve   []attachMsg // reusable per-round serve list
 }
 
 type peerNode struct {
@@ -137,9 +150,11 @@ func New(cfg Config) (*Runtime, error) {
 }
 
 // Run executes the protocol for the given number of epochs, invoking
-// observe (if non-nil) with each epoch's statistics. It spawns one
-// goroutine per node plus the coordinator and joins them all before
-// returning. Run may be called once per Runtime.
+// observe (if non-nil) with each epoch's statistics. The observed stats
+// reuse the coordinator's buffers across epochs — call EpochStats.Clone to
+// retain them past the callback. Run spawns one goroutine per node plus
+// the coordinator and joins them all before returning. Run may be called
+// once per Runtime.
 func (rt *Runtime) Run(epochs int, observe func(EpochStats)) error {
 	if epochs <= 0 {
 		return fmt.Errorf("netsim: epochs=%d", epochs)
@@ -235,8 +250,16 @@ func (rt *Runtime) Run(epochs int, observe func(EpochStats)) error {
 		}(pn)
 	}
 
-	// Coordinator loop (in this goroutine).
+	// Coordinator loop (in this goroutine). The stats buffers are allocated
+	// once and refilled per epoch — every helper and peer reports every
+	// epoch, so each cell is overwritten before the observer sees it.
 	var firstErr error
+	stats := EpochStats{
+		Actions:    make([]int, n),
+		Rates:      make([]float64, n),
+		Loads:      make([]int, h),
+		Capacities: make([]float64, h),
+	}
 	for e := 0; e < epochs; e++ {
 		// Barrier 1: all peers attached.
 		for k := 0; k < n; k++ {
@@ -247,13 +270,8 @@ func (rt *Runtime) Run(epochs int, observe func(EpochStats)) error {
 			hn.flush <- flushMsg{epoch: e}
 		}
 		// Collect reports.
-		stats := EpochStats{
-			Epoch:      e,
-			Actions:    make([]int, n),
-			Rates:      make([]float64, n),
-			Loads:      make([]int, h),
-			Capacities: make([]float64, h),
-		}
+		stats.Epoch = e
+		stats.Welfare = 0
 		for k := 0; k < h; k++ {
 			rep := <-helperReports
 			if rep.err != nil && firstErr == nil {
@@ -302,21 +320,28 @@ func (hn *helperNode) run(epochs int) {
 				drained = false
 			}
 		}
-		var serve []attachMsg
-		var keep []attachMsg
-		var badEpoch *attachMsg
+		// Partition in place: this round's attaches move to the reusable
+		// serve buffer, later rounds' compact to the front of pending —
+		// no per-round slice churn.
+		serve := hn.serve[:0]
+		keep := 0
+		var badEpoch attachMsg
+		haveBad := false
 		for i := range hn.pending {
 			m := hn.pending[i]
 			switch {
 			case m.epoch == f.epoch:
 				serve = append(serve, m)
 			case m.epoch > f.epoch:
-				keep = append(keep, m)
+				hn.pending[keep] = m
+				keep++
 			default:
-				badEpoch = &hn.pending[i]
+				badEpoch = m
+				haveBad = true
 			}
 		}
-		hn.pending = keep
+		hn.pending = hn.pending[:keep]
+		hn.serve = serve // retain the (possibly grown) buffer for reuse
 
 		// The environment moves once per round regardless of load.
 		hn.proc.Step()
@@ -329,7 +354,7 @@ func (hn *helperNode) run(epochs int) {
 			m.reply <- rate
 		}
 		rep := helperReport{helper: hn.id, epoch: f.epoch, load: len(serve), capacity: capacity}
-		if badEpoch != nil {
+		if haveBad {
 			rep.err = fmt.Errorf("netsim: helper %d got stale attach from peer %d (epoch %d at round %d)",
 				hn.id, badEpoch.peer, badEpoch.epoch, f.epoch)
 		}

@@ -176,3 +176,38 @@ type rogueSelector struct{ m int }
 func (r rogueSelector) Select(*xrand.Rand) int                   { return 99 }
 func (r rogueSelector) Update(action int, utility float64) error { return nil }
 func (r rogueSelector) NumActions() int                          { return r.m }
+
+// The coordinator reuses its stats buffers across epochs; Clone must
+// decouple a retained copy from that reuse.
+func TestEpochStatsClone(t *testing.T) {
+	rt, err := New(testConfig(5, 2, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept EpochStats
+	err = rt.Run(20, func(s EpochStats) {
+		if s.Epoch == 0 {
+			kept = s.Clone()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Epoch != 0 {
+		t.Fatalf("clone epoch = %d", kept.Epoch)
+	}
+	loadSum := 0
+	for _, l := range kept.Loads {
+		loadSum += l
+	}
+	if loadSum != 5 {
+		t.Fatalf("cloned loads corrupted by buffer reuse: %v", kept.Loads)
+	}
+	welfare := 0.0
+	for _, r := range kept.Rates {
+		welfare += r
+	}
+	if math.Abs(welfare-kept.Welfare) > 1e-9 {
+		t.Fatalf("cloned rates (%g) inconsistent with cloned welfare (%g)", welfare, kept.Welfare)
+	}
+}

@@ -1,0 +1,181 @@
+package regret
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"rths/internal/xrand"
+)
+
+// The lazy-decay recursive learner must be stage-for-stage equivalent to
+// the literal Algorithm 1 replay (reference.go) over long horizons — the
+// O(m) lazy-decay rewrite may not drift from the O(n·m) ground truth by
+// more than floating-point noise. This is the long-horizon, churn-heavy
+// companion of TestRecursiveMatchesReference.
+func TestLazyDecayMatchesReferenceLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-stage replay is slow in -short mode")
+	}
+	const (
+		stages = 10000
+		tol    = 1e-12
+	)
+	for _, seed := range []uint64{3, 17, 101} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			cfg := Config{NumActions: 4, StepSize: 0.02, Exploration: 0.05, Mu: 0.1, Mode: ModeTracking}
+			rec := MustNew(cfg)
+			ref, err := NewReference(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := xrand.New(seed)
+			m := cfg.NumActions
+			for s := 0; s < stages; s++ {
+				// Mid-run action-set churn: joins and departures every few
+				// hundred stages, keeping m in [2, 8].
+				if s > 0 && s%397 == 0 {
+					if m >= 8 || (m > 2 && r.Float64() < 0.5) {
+						k := r.Intn(m)
+						rec.RemoveAction(k)
+						ref.RemoveAction(k)
+						m--
+					} else {
+						rec.AddAction()
+						ref.AddAction()
+						m++
+					}
+					pr, pf := rec.Probabilities(), ref.Probabilities()
+					for i := range pr {
+						if math.Abs(pr[i]-pf[i]) > tol {
+							t.Fatalf("stage %d post-churn: recursive %v vs reference %v", s, pr, pf)
+						}
+					}
+				}
+				// Play the actual protocol: sample from the learner's own
+				// strategy (uniform forcing would hit floor-probability
+				// actions with ~m/δ importance weights and amplify benign
+				// rounding noise past any fixed tolerance).
+				a := r.Categorical(rec.Probabilities())
+				u := r.Float64()
+				rec.ForceAction(a)
+				ref.ForceAction(a)
+				if err := rec.Update(a, u); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.Update(a, u); err != nil {
+					t.Fatal(err)
+				}
+				pr, pf := rec.Probabilities(), ref.Probabilities()
+				for i := range pr {
+					if math.Abs(pr[i]-pf[i]) > tol {
+						t.Fatalf("stage %d: |Δp[%d]| = %g > %g (recursive %v vs reference %v)",
+							s, i, math.Abs(pr[i]-pf[i]), tol, pr, pf)
+					}
+				}
+				// Full pairwise regret comparison is O(m²·n); spot-check it
+				// on a sparse schedule to keep the test inside CI budget.
+				if s%500 == 499 {
+					for j := 0; j < m; j++ {
+						for k := 0; k < m; k++ {
+							if d := math.Abs(rec.Regret(j, k) - ref.Regret(j, k)); d > tol {
+								t.Fatalf("stage %d: |ΔQ(%d,%d)| = %g > %g", s, j, k, d, tol)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// The lazy decay weight must renormalize rather than underflow: with a
+// large step size w shrinks by 100x per stage and crosses renormFloor every
+// ~60 stages, so a long run exercises many folds.
+func TestLazyDecayRenormalization(t *testing.T) {
+	cfg := Config{NumActions: 3, StepSize: 0.99, Exploration: 0.1, Mu: 0.1, Mode: ModeTracking}
+	l := MustNew(cfg)
+	r := xrand.New(5)
+	for s := 0; s < 5000; s++ {
+		a := l.Select(r)
+		if err := l.Update(a, r.Float64()); err != nil {
+			t.Fatal(err)
+		}
+		if err := validSimplex(l.Probabilities()); err != nil {
+			t.Fatalf("stage %d: %v", s, err)
+		}
+		for _, v := range l.t {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("stage %d: stored matrix degenerated: %v", s, l.t)
+			}
+		}
+	}
+	if l.w < renormFloor || l.w > 1 {
+		t.Fatalf("decay weight w=%g outside (renormFloor, 1]", l.w)
+	}
+}
+
+// ε=1 is a legal step size (full forgetting). The lazy scheme must not
+// divide by a zero weight.
+func TestLazyDecayFullForgetting(t *testing.T) {
+	cfg := Config{NumActions: 3, StepSize: 1, Exploration: 0.1, Mu: 0.1, Mode: ModeTracking}
+	l := MustNew(cfg)
+	r := xrand.New(8)
+	for s := 0; s < 200; s++ {
+		a := l.Select(r)
+		if err := l.Update(a, r.Float64()); err != nil {
+			t.Fatal(err)
+		}
+		if err := validSimplex(l.Probabilities()); err != nil {
+			t.Fatalf("stage %d: %v", s, err)
+		}
+	}
+}
+
+// Learner.Update must stay allocation-free in steady state: it is executed
+// once per peer per stage, so a single hidden allocation multiplies into
+// millions at the ROADMAP's target scale.
+func TestUpdateZeroAllocs(t *testing.T) {
+	for _, mode := range []Mode{ModeTracking, ModeMatching, ModePaperExact} {
+		cfg := testConfig(8)
+		cfg.Mode = mode
+		l := MustNew(cfg)
+		r := xrand.New(2)
+		// Warm up past any first-stage initialization.
+		for s := 0; s < 64; s++ {
+			if err := l.Update(l.Select(r), 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			a := l.Select(r)
+			if err := l.Update(a, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("mode %v: Select+Update allocates %g objects per stage, want 0", mode, allocs)
+		}
+	}
+}
+
+// BenchmarkLearnerUpdateScaling demonstrates the O(m) per-update cost of
+// the lazy-decay learner: doubling m must roughly double ns/op, not
+// quadruple it as the eager O(m²) decay did. Compare m=4 → m=32 → m=256.
+func BenchmarkLearnerUpdateScaling(b *testing.B) {
+	for _, m := range []int{4, 32, 256} {
+		b.Run("m="+strconv.Itoa(m), func(b *testing.B) {
+			l := MustNew(testConfig(m))
+			r := xrand.New(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := l.Select(r)
+				if err := l.Update(a, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -22,8 +22,13 @@ type Reference struct {
 	last    int
 }
 
+// refStage is one recorded stage. After RemoveAction the entry of a stage
+// whose played action was removed is tombstoned (action = -1): its column
+// of the proxy matrix is gone, so it contributes to no remaining pair, but
+// the stage still happened, so it keeps occupying a slot in the decay
+// ladder (every Update decays everything once, played action or not).
 type refStage struct {
-	action  int
+	action  int // -1 for tombstoned stages
 	utility float64
 	probs   []float64
 }
@@ -89,22 +94,31 @@ func (r *Reference) Update(action int, utility float64) error {
 	return nil
 }
 
-// Regret recomputes Q(j,k) from the full history.
+// Regret recomputes Q(j,k) from the full history. The stages are replayed
+// newest-first with a running decay weight w = ε·(1-ε)^age, which keeps the
+// replay O(n) per pair without math.Pow calls. Stages recorded before an
+// action existed carry zero probability for it (AddAction grows the view;
+// the action was unplayable, so its importance weight is zero).
 func (r *Reference) Regret(j, k int) float64 {
 	if j == k {
 		return 0
 	}
 	eps := r.cfg.StepSize
-	n := len(r.history)
+	w := eps
 	gain, base := 0.0, 0.0
-	for idx, st := range r.history {
-		w := eps * math.Pow(1-eps, float64(n-1-idx))
+	for idx := len(r.history) - 1; idx >= 0; idx-- {
+		st := &r.history[idx]
 		if st.action == k {
-			gain += w * (st.probs[j] / st.probs[k]) * st.utility
+			pj := 0.0
+			if j < len(st.probs) {
+				pj = st.probs[j]
+			}
+			gain += w * (pj / st.probs[k]) * st.utility
 		}
 		if st.action == j {
 			base += w * st.utility
 		}
+		w *= 1 - eps
 	}
 	if d := gain - base; d > 0 {
 		return d
@@ -126,6 +140,74 @@ func (r *Reference) MaxRegret() float64 {
 		}
 	}
 	return worst
+}
+
+// AddAction grows the action set by one, mirroring Learner.AddAction: the
+// new action starts with the exploration floor and a history in which it
+// never existed (zero probability, never played).
+func (r *Reference) AddAction() {
+	nm := r.m + 1
+	if nm > maxActions {
+		panic(fmt.Sprintf("regret: AddAction beyond %d actions", maxActions))
+	}
+	floor := r.cfg.Exploration / float64(nm)
+	rescale := 1 - floor
+	np := make([]float64, nm)
+	for k := 0; k < r.m; k++ {
+		np[k] = r.probs[k] * rescale
+	}
+	np[r.m] = floor
+	r.probs = np
+	r.m = nm
+	r.last = -1
+}
+
+// RemoveAction deletes action k, mirroring Learner.RemoveAction: the
+// history is rewritten in place — stages that played k are tombstoned
+// (their proxy column is discarded), indices above k shift down, and the
+// snapshots drop k's probability. The remaining current probabilities are
+// renormalized exactly as the recursive learner does.
+func (r *Reference) RemoveAction(k int) {
+	if r.m <= 1 {
+		panic("regret: RemoveAction would empty the action set")
+	}
+	if k < 0 || k >= r.m {
+		panic(fmt.Sprintf("regret: RemoveAction(%d) with m=%d", k, r.m))
+	}
+	for i := range r.history {
+		st := &r.history[i]
+		switch {
+		case st.action == k:
+			st.action = -1
+		case st.action > k:
+			st.action--
+		}
+		if k < len(st.probs) {
+			st.probs = append(st.probs[:k], st.probs[k+1:]...)
+		}
+	}
+	nm := r.m - 1
+	np := make([]float64, 0, nm)
+	sum := 0.0
+	for i, p := range r.probs {
+		if i == k {
+			continue
+		}
+		np = append(np, p)
+		sum += p
+	}
+	if sum <= 0 {
+		for i := range np {
+			np[i] = 1 / float64(nm)
+		}
+	} else {
+		for i := range np {
+			np[i] /= sum
+		}
+	}
+	r.probs = np
+	r.m = nm
+	r.last = -1
 }
 
 func (r *Reference) recomputeProbs(j int) {

@@ -108,6 +108,11 @@ func Defaults(numActions int, utilityScale float64) Config {
 	}
 }
 
+// maxActions bounds the action-set (helper-view) size. The O(m²) proxy
+// matrix makes very large views expensive anyway; 1024 actions is 8 MiB of
+// state per learner and far beyond any helper view in the paper's setting.
+const maxActions = 1024
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a
@@ -119,8 +124,8 @@ func (c Config) validate() error {
 	if c.NumActions <= 0 {
 		return fmt.Errorf("regret: NumActions=%d", c.NumActions)
 	}
-	if c.NumActions > 255 {
-		return fmt.Errorf("regret: NumActions=%d exceeds 255", c.NumActions)
+	if c.NumActions > maxActions {
+		return fmt.Errorf("regret: NumActions=%d exceeds %d", c.NumActions, maxActions)
 	}
 	if !(c.StepSize > 0 && c.StepSize <= 1) {
 		return fmt.Errorf("regret: StepSize=%g outside (0,1]", c.StepSize)
@@ -142,14 +147,37 @@ func (c Config) validate() error {
 // Learner is the R2HS learner (Algorithm 2): O(m²) state, O(m) per-stage
 // update. It also hosts the regret-matching baseline and the paper-exact
 // ablation via Config.Mode. Not safe for concurrent use.
+//
+// The tracking-mode decay T ← (1-ε)T is applied lazily: instead of scaling
+// all m² entries every stage, the learner keeps a scalar weight w = Π(1-ε)
+// and stores T/w, so an Update touches only the played action's column
+// (O(m)). The true matrix is recovered as t·w at read time, and w is folded
+// back into t whenever it underflows renormFloor, so the stored values stay
+// finite for arbitrarily long runs. The arithmetic agrees with the eager
+// recursion to within floating-point rounding (see equivalence_test.go).
 type Learner struct {
 	cfg   Config
 	m     int       // current number of actions
-	t     []float64 // m×m proxy matrix T (row-major); T[j][k] per eq. 3-4
+	t     []float64 // m×m scaled proxy matrix (row-major): true T = t·w
+	w     float64   // lazy decay weight; 1 for non-tracking modes
 	probs []float64 // current mixed strategy p^n
 	stage int       // completed updates
 	last  int       // last action returned by Select, -1 before first
+
+	// Hot-path constants, recomputed only when m changes: the probability
+	// update runs once per peer per stage, and divisions dominate its cost.
+	invMu  float64 // 1/μ
+	keep   float64 // 1-δ
+	floorP float64 // δ/m
+	capQ   float64 // 1/(m-1); 1 when m == 1
 }
+
+// renormFloor is the lazy-decay underflow threshold: when the running decay
+// weight w drops below it, w is folded into the stored matrix and reset to
+// 1. At ε=0.02 this costs one O(m²) pass every ~13.7k stages — amortized
+// O(m²/13 700) per update — and the fold keeps stored magnitudes ≤ 1/w
+// times the increments, far from float64 overflow.
+const renormFloor = 1e-120
 
 // New builds a learner with a uniform initial strategy (Algorithm 1/2
 // initialization: random initial action, p⁰(a) = 1/|H|).
@@ -177,12 +205,26 @@ func MustNew(cfg Config) *Learner {
 func (l *Learner) reset(m int) {
 	l.m = m
 	l.t = make([]float64, m*m)
+	l.w = 1
 	l.probs = make([]float64, m)
 	for i := range l.probs {
 		l.probs[i] = 1 / float64(m)
 	}
 	l.stage = 0
 	l.last = -1
+	l.sizeConstants()
+}
+
+// sizeConstants refreshes the hot-path constants that depend on m.
+func (l *Learner) sizeConstants() {
+	l.invMu = 1 / l.cfg.Mu
+	l.keep = 1 - l.cfg.Exploration
+	l.floorP = l.cfg.Exploration / float64(l.m)
+	if l.m > 1 {
+		l.capQ = 1 / float64(l.m-1)
+	} else {
+		l.capQ = 1
+	}
 }
 
 // NumActions returns the current action-set size.
@@ -201,9 +243,11 @@ func (l *Learner) Probabilities() []float64 {
 	return out
 }
 
-// Select samples an action from the current mixed strategy.
+// Select samples an action from the current mixed strategy. The strategy
+// is maintained as a valid simplex by recomputeProbs, so the sampling can
+// use the single-pass normalized path.
 func (l *Learner) Select(r *xrand.Rand) int {
-	l.last = r.Categorical(l.probs)
+	l.last = r.CategoricalNorm(l.probs)
 	return l.last
 }
 
@@ -228,34 +272,40 @@ func (l *Learner) Update(action int, utility float64) error {
 	if action < 0 || action >= l.m {
 		return fmt.Errorf("regret: Update action %d out of range [0,%d)", action, l.m)
 	}
-	if utility < 0 || math.IsNaN(utility) || math.IsInf(utility, 0) {
+	// One comparison covers NaN (fails >= 0), -Inf (fails >= 0) and +Inf
+	// (fails <= MaxFloat64) without math.IsNaN/IsInf calls in the hot path.
+	if !(utility >= 0 && utility <= math.MaxFloat64) {
 		return fmt.Errorf("regret: Update utility %g invalid", utility)
 	}
 	eps := l.cfg.StepSize
 
-	// Decay per mode, then the rank-one increment of eq. (3-5): column
-	// `action` receives u/p(action) · p(j) for every row j. T(j,j) for
-	// j==action therefore accumulates the raw utility.
-	switch l.cfg.Mode {
-	case ModeTracking:
-		decay := 1 - eps
-		for i := range l.t {
-			l.t[i] *= decay
+	// The rank-one increment of eq. (3-5): column `action` receives
+	// u/p(action) · p(j) for every row j, so T(j,j) for j==action
+	// accumulates the raw utility. In tracking mode the decay T ← (1-ε)T is
+	// applied lazily through w, and the ε factor of eq. (3-3)/(3-6) is
+	// folded into the increment so that t·w directly stores the
+	// recency-weighted sums and Q is a plain positive part.
+	var scale float64
+	if l.cfg.Mode == ModeTracking {
+		l.w *= 1 - eps
+		if l.w < renormFloor {
+			// Fold the weight into the matrix before it underflows (this
+			// also handles ε=1, where w collapses to exactly 0).
+			for i := range l.t {
+				l.t[i] *= l.w
+			}
+			l.w = 1
 		}
-	case ModeMatching, ModePaperExact:
-		// no decay: cumulative sums
+		// Single fused division: u·ε / (p(a)·w).
+		scale = utility * eps / (l.probs[action] * l.w)
+	} else {
+		scale = utility / l.probs[action]
 	}
-	pa := l.probs[action]
-	scale := utility / pa
-	for j := 0; j < l.m; j++ {
-		if l.cfg.Mode == ModeTracking {
-			// Fold the ε factor of eq. (3-3)/(3-6) into the increment so
-			// that T directly stores the recency-weighted sums and Q is a
-			// plain positive part (clearer and numerically tidier).
-			l.t[j*l.m+action] += eps * scale * l.probs[j]
-		} else {
-			l.t[j*l.m+action] += scale * l.probs[j]
-		}
+	// Column walk with a single induction variable so the compiler can
+	// drop the per-iteration bounds checks.
+	t, probs := l.t, l.probs
+	for idx, j := action, 0; idx < len(t); idx, j = idx+l.m, j+1 {
+		t[idx] += scale * probs[j]
 	}
 	l.stage++
 	l.recomputeProbs(action)
@@ -263,24 +313,31 @@ func (l *Learner) Update(action int, utility float64) error {
 	return nil
 }
 
+// regretScale converts stored T-matrix differences into the mode's Q value.
+func (l *Learner) regretScale() float64 {
+	switch l.cfg.Mode {
+	case ModeTracking:
+		// ε folded into the increments; undo the lazy decay scaling.
+		return l.w
+	case ModeMatching:
+		if l.stage > 0 {
+			return 1 / float64(l.stage)
+		}
+		return 1
+	case ModePaperExact:
+		return l.cfg.StepSize
+	}
+	return 1
+}
+
 // regret returns the current estimate Q(j,k): the (normalized) gain of
 // having played k whenever j was played.
 func (l *Learner) regret(j, k int) float64 {
 	diff := l.t[j*l.m+k] - l.t[j*l.m+j]
-	switch l.cfg.Mode {
-	case ModeTracking:
-		// ε already folded into the increments.
-	case ModeMatching:
-		if l.stage > 0 {
-			diff /= float64(l.stage)
-		}
-	case ModePaperExact:
-		diff *= l.cfg.StepSize
-	}
-	if diff < 0 {
+	if diff <= 0 {
 		return 0
 	}
-	return diff
+	return diff * l.regretScale()
 }
 
 // Regret returns Q(j,k), the learner's internal proxy regret for not having
@@ -313,30 +370,46 @@ func (l *Learner) MaxRegret() float64 {
 }
 
 // recomputeProbs applies the Algorithm 1/2 probability update given the
-// action j played this stage.
+// action j played this stage. It reads only row j of the proxy matrix, so
+// the whole post-update strategy refresh is O(m).
 func (l *Learner) recomputeProbs(j int) {
 	m := l.m
 	if m == 1 {
 		l.probs[0] = 1
 		return
 	}
-	delta := l.cfg.Exploration
-	mu := l.cfg.Mu
-	cap := 1 / float64(m-1)
+	row := l.t[j*m : j*m+m : j*m+m]
+	probs := l.probs[:m]
+	tjj := row[j]
+	qs := l.regretScale() * l.invMu
+	keep := l.keep
+	floor := l.floorP
+	cap := l.capQ
+	// Branchless over k==j: row[j]-tjj is exactly 0, so the diagonal falls
+	// through to p=floor; subtract that term back out when fixing p(j).
+	// The min/max builtins compile to MINSD/MAXSD, avoiding data-dependent
+	// branches on the regret sign and the μ-cap.
 	sum := 0.0
-	for k := 0; k < m; k++ {
-		if k == j {
-			continue
-		}
-		v := l.regret(j, k) / mu
-		if v > cap {
-			v = cap
-		}
-		p := (1-delta)*v + delta/float64(m)
-		l.probs[k] = p
+	for k, tv := range row {
+		v := min(max((tv-tjj)*qs, 0), cap)
+		p := keep*v + floor
+		probs[k] = p
 		sum += p
 	}
-	l.probs[j] = 1 - sum
+	probs[j] = 1 - (sum - floor)
+}
+
+// materialize folds the lazy decay weight into the stored matrix so that
+// l.t holds true T values again. Called before structural edits (AddAction,
+// RemoveAction) so the copy logic never has to track the scaling.
+func (l *Learner) materialize() {
+	if l.w == 1 {
+		return
+	}
+	for i := range l.t {
+		l.t[i] *= l.w
+	}
+	l.w = 1
 }
 
 // AddAction grows the action set by one (a helper joined). The new action
@@ -345,9 +418,10 @@ func (l *Learner) recomputeProbs(j int) {
 func (l *Learner) AddAction() {
 	m := l.m
 	nm := m + 1
-	if nm > 255 {
-		panic("regret: AddAction beyond 255 actions")
+	if nm > maxActions {
+		panic(fmt.Sprintf("regret: AddAction beyond %d actions", maxActions))
 	}
+	l.materialize()
 	nt := make([]float64, nm*nm)
 	for j := 0; j < m; j++ {
 		copy(nt[j*nm:j*nm+m], l.t[j*m:(j+1)*m])
@@ -363,6 +437,7 @@ func (l *Learner) AddAction() {
 	l.probs = np
 	l.m = nm
 	l.last = -1
+	l.sizeConstants()
 }
 
 // RemoveAction deletes action k (a helper left). Its regret state is
@@ -375,6 +450,7 @@ func (l *Learner) RemoveAction(k int) {
 	if k < 0 || k >= l.m {
 		panic(fmt.Sprintf("regret: RemoveAction(%d) with m=%d", k, l.m))
 	}
+	l.materialize()
 	m := l.m
 	nm := m - 1
 	nt := make([]float64, nm*nm)
@@ -413,4 +489,5 @@ func (l *Learner) RemoveAction(k int) {
 	l.probs = np
 	l.m = nm
 	l.last = -1
+	l.sizeConstants()
 }

@@ -26,7 +26,7 @@ func TestConfigValidation(t *testing.T) {
 		mut  func(*Config)
 	}{
 		{"zero actions", func(c *Config) { c.NumActions = 0 }},
-		{"too many actions", func(c *Config) { c.NumActions = 300 }},
+		{"too many actions", func(c *Config) { c.NumActions = 2000 }},
 		{"zero step", func(c *Config) { c.StepSize = 0 }},
 		{"step above one", func(c *Config) { c.StepSize = 1.5 }},
 		{"zero exploration", func(c *Config) { c.Exploration = 0 }},

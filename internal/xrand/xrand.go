@@ -212,6 +212,29 @@ func (r *Rand) Categorical(weights []float64) int {
 	return len(weights) - 1
 }
 
+// CategoricalNorm samples an index from weights that the caller guarantees
+// are non-negative and sum to 1 (a probability simplex, e.g. a learner's
+// mixed strategy or a validated Markov transition row). It is the hot-path
+// variant of Categorical: one pass, no validation, no normalization. If the
+// weights sum to slightly less than 1 (floating-point slack), the draw
+// falls back to the last positively weighted index, matching Categorical.
+func (r *Rand) CategoricalNorm(weights []float64) int {
+	target := r.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
 // Zipf draws values in [1, n] with P(k) proportional to 1/k^s.
 // It precomputes the CDF, so construction is O(n) and sampling O(log n).
 type Zipf struct {

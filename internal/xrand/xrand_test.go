@@ -301,3 +301,38 @@ func BenchmarkCategorical8(b *testing.B) {
 		_ = r.Categorical(w)
 	}
 }
+
+// CategoricalNorm assumes normalized weights; on a valid simplex it must
+// realize the same distribution as Categorical and handle floating-point
+// slack (sum slightly below 1) by falling back to the last positive index.
+func TestCategoricalNorm(t *testing.T) {
+	r := New(42)
+	weights := []float64{0.1, 0.4, 0.25, 0.25}
+	counts := make([]float64, len(weights))
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := r.CategoricalNorm(weights)
+		if k < 0 || k >= len(weights) {
+			t.Fatalf("index %d out of range", k)
+		}
+		counts[k]++
+	}
+	for i, w := range weights {
+		got := counts[i] / draws
+		if math.Abs(got-w) > 0.01 {
+			t.Fatalf("index %d frequency %g, want ~%g", i, got, w)
+		}
+	}
+	// Slack fallback: weights summing to just under the drawn target must
+	// land on the last positively weighted index, never out of range.
+	tiny := []float64{0.5, 0.5 - 1e-9, 0}
+	for i := 0; i < 10000; i++ {
+		k := r.CategoricalNorm(tiny)
+		if k < 0 || k > 2 {
+			t.Fatalf("fallback index %d", k)
+		}
+		if k == 2 {
+			t.Fatalf("zero-weight index drawn")
+		}
+	}
+}

@@ -183,6 +183,10 @@ func SmallScale() Scenario { return experiment.SmallScale() }
 // LargeScale is the Fig-1 scenario (N=200 peers, H=20 helpers).
 func LargeScale() Scenario { return experiment.LargeScale() }
 
+// StressScale is the LargeScale-derived stress scenario (N=5000 peers,
+// H=80 helpers) that exercises the sharded parallel step engine.
+func StressScale() Scenario { return experiment.StressScale() }
+
 // Figure runners (paper evaluation artifacts).
 var (
 	// Fig1 reproduces the worst-player regret decay.
