@@ -256,6 +256,44 @@ func BenchmarkHotPathStep(b *testing.B) {
 	b.Run("N=100000/H=16/workers=8", func(b *testing.B) { benchHotPath(b, 100000, 16, 8) })
 }
 
+// benchCluster measures the multi-channel cluster runtime end to end:
+// Markov-switching viewers, parallel channel stepping, and a re-allocation
+// boundary every epoch.
+func benchCluster(b *testing.B, channels, peers, helpers, workers int) {
+	sc := rths.ClusterSmall()
+	sc.Channels, sc.TotalPeers, sc.Helpers, sc.Workers = channels, peers, helpers, workers
+	sc.EpochStages = 10
+	sc.FlashPeers = 0
+	cfg, err := sc.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := rths.NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.RunEpoch(); err != nil { // warmup epoch
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stages := float64(b.N) * float64(sc.EpochStages)
+	b.ReportMetric(stages/b.Elapsed().Seconds(), "stages/sec")
+	b.ReportMetric(stages*float64(peers)/b.Elapsed().Seconds(), "peerstages/sec")
+}
+
+// BenchmarkClusterEpoch tracks the cluster engine's throughput; the same
+// shapes are recorded to BENCH_hotpath.json by cmd/hotbench.
+func BenchmarkClusterEpoch(b *testing.B) {
+	b.Run("C=20/N=1000/H=40/seq", func(b *testing.B) { benchCluster(b, 20, 1000, 40, 0) })
+	b.Run("C=20/N=1000/H=40/workers=4", func(b *testing.B) { benchCluster(b, 20, 1000, 40, 4) })
+	b.Run("C=100/N=10000/H=150/workers=4", func(b *testing.B) { benchCluster(b, 100, 10000, 150, 4) })
+}
+
 // BenchmarkStressScenario runs the LargeScale-derived stress scenario end
 // to end (construction included) on the parallel engine.
 func BenchmarkStressScenario(b *testing.B) {

@@ -8,17 +8,26 @@
 //
 // Usage:
 //
-//	hotbench [-out BENCH_hotpath.json] [-stages 200] [-full]
+//	hotbench [-out BENCH_hotpath.json] [-stages 200] [-repeat 1] [-full]
+//	hotbench -repeat 3 -baseline BENCH_hotpath.json -tolerance 0.20
 //
-// -full adds the N=100k population (slow; several seconds per scenario).
+// -full adds the N=100k population and the 100-channel cluster (slow;
+// several seconds per scenario). -baseline compares the fresh measurements
+// against a committed report and exits non-zero if any like-named
+// scenario's throughput regressed by more than -tolerance — the CI gate
+// that keeps the perf trajectory honest. Gate runs should use -repeat 3:
+// scheduler noise only slows a run down, so best-of-N is the stable
+// statistic to compare.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"rths"
@@ -33,7 +42,22 @@ type Report struct {
 	Timestamp  string           `json:"timestamp"`
 	Stages     int              `json:"stages_per_scenario"`
 	Scenarios  []ScenarioResult `json:"scenarios"`
+	Cluster    []ClusterResult  `json:"cluster"`
 	Learner    []LearnerResult  `json:"learner_update"`
+}
+
+// ClusterResult is one multi-channel cluster measurement (stage loop plus
+// re-allocation boundaries, scenario events included).
+type ClusterResult struct {
+	Name             string  `json:"name"`
+	Channels         int     `json:"channels"`
+	Peers            int     `json:"peers"`
+	Helpers          int     `json:"helpers"`
+	Workers          int     `json:"workers"`
+	Stages           int     `json:"stages"`
+	NsPerStage       float64 `json:"ns_per_stage"`
+	StagesPerSec     float64 `json:"stages_per_sec"`
+	PeerStagesPerSec float64 `json:"peer_stages_per_sec"`
 }
 
 // ScenarioResult is one stage-engine measurement.
@@ -125,6 +149,66 @@ func measureScenario(spec scenarioSpec, stages int) (ScenarioResult, error) {
 	}, nil
 }
 
+type clusterSpec struct {
+	name     string
+	channels int
+	peers    int
+	helpers  int
+	workers  int
+}
+
+func defaultClusterScenarios(full bool) []clusterSpec {
+	specs := []clusterSpec{
+		{"cluster-small-seq", 8, 240, 16, 0},
+		{"cluster-mid-seq", 20, 1000, 40, 0},
+		{"cluster-mid-workers4", 20, 1000, 40, 4},
+	}
+	if full {
+		specs = append(specs, clusterSpec{"cluster-scale-workers4", 100, 10000, 150, 4})
+	}
+	return specs
+}
+
+// measureCluster runs `stages` steady-state stages of the multi-channel
+// cluster runtime (Markov switching on, flash crowds off) including the
+// epoch re-allocation boundaries that fall inside the window.
+func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
+	sc := rths.ClusterSmall()
+	sc.Channels, sc.TotalPeers, sc.Helpers, sc.Workers = spec.channels, spec.peers, spec.helpers, spec.workers
+	sc.EpochStages = 25
+	sc.FlashPeers = 0
+	cfg, err := sc.Build()
+	if err != nil {
+		return ClusterResult{}, fmt.Errorf("%s: %w", spec.name, err)
+	}
+	c, err := rths.NewCluster(cfg)
+	if err != nil {
+		return ClusterResult{}, fmt.Errorf("%s: %w", spec.name, err)
+	}
+	if _, err := c.RunEpoch(); err != nil { // warmup epoch
+		return ClusterResult{}, fmt.Errorf("%s warmup: %w", spec.name, err)
+	}
+	epochs := (stages + sc.EpochStages - 1) / sc.EpochStages
+	measured := epochs * sc.EpochStages
+	start := time.Now()
+	if err := c.Run(epochs, nil); err != nil {
+		return ClusterResult{}, fmt.Errorf("%s: %w", spec.name, err)
+	}
+	elapsed := time.Since(start)
+	ns := float64(elapsed.Nanoseconds()) / float64(measured)
+	return ClusterResult{
+		Name:             spec.name,
+		Channels:         spec.channels,
+		Peers:            spec.peers,
+		Helpers:          spec.helpers,
+		Workers:          spec.workers,
+		Stages:           measured,
+		NsPerStage:       ns,
+		StagesPerSec:     1e9 / ns,
+		PeerStagesPerSec: 1e9 / ns * float64(spec.peers),
+	}, nil
+}
+
 // measureLearner times the standalone Select+Update cycle at action-set
 // size m — the O(m) scaling evidence for the lazy-decay rewrite.
 func measureLearner(m, iters int) (LearnerResult, error) {
@@ -157,8 +241,16 @@ func measureLearner(m, iters int) (LearnerResult, error) {
 }
 
 // buildReport runs every measurement; split from main so the test can
-// exercise the full pipeline with a trimmed budget.
-func buildReport(stages int, full bool) (*Report, error) {
+// exercise the full pipeline with a trimmed budget. repeat > 1 runs the
+// whole measurement set that many times in interleaved rounds and keeps
+// each scenario's fastest round — scheduler and frequency noise only ever
+// slows a measurement down, and interleaving spreads every scenario's
+// repeats across the full wall-clock window so slow minutes cannot skew
+// the *relative* shape the regression gate normalizes against.
+func buildReport(stages, repeat int, full bool) (*Report, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
 	rep := &Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -166,25 +258,50 @@ func buildReport(stages int, full bool) (*Report, error) {
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		Stages:     stages,
 	}
-	for _, spec := range defaultScenarios(full) {
-		res, err := measureScenario(spec, stages)
-		if err != nil {
-			return nil, err
-		}
-		rep.Scenarios = append(rep.Scenarios, res)
-	}
 	learnerIters := stages * 500
 	if learnerIters > 200000 {
 		learnerIters = 200000
 	}
-	for _, m := range []int{4, 32, 256} {
-		res, err := measureLearner(m, learnerIters)
-		if err != nil {
-			return nil, err
+	learnerMs := []int{4, 32, 256}
+	for round := 0; round < repeat; round++ {
+		for i, spec := range defaultScenarios(full) {
+			res, err := measureScenario(spec, stages)
+			if err != nil {
+				return nil, err
+			}
+			rep.Scenarios = keepFastest(rep.Scenarios, round, i, res,
+				func(a, b ScenarioResult) bool { return a.NsPerStage < b.NsPerStage })
 		}
-		rep.Learner = append(rep.Learner, res)
+		for i, spec := range defaultClusterScenarios(full) {
+			res, err := measureCluster(spec, stages)
+			if err != nil {
+				return nil, err
+			}
+			rep.Cluster = keepFastest(rep.Cluster, round, i, res,
+				func(a, b ClusterResult) bool { return a.NsPerStage < b.NsPerStage })
+		}
+		for i, m := range learnerMs {
+			res, err := measureLearner(m, learnerIters)
+			if err != nil {
+				return nil, err
+			}
+			rep.Learner = keepFastest(rep.Learner, round, i, res,
+				func(a, b LearnerResult) bool { return a.NsPerOp < b.NsPerOp })
+		}
 	}
 	return rep, nil
+}
+
+// keepFastest merges one round's measurement into the accumulator: round 0
+// appends, later rounds replace slot i when the new result is faster.
+func keepFastest[T any](acc []T, round, i int, res T, faster func(a, b T) bool) []T {
+	if round == 0 {
+		return append(acc, res)
+	}
+	if faster(res, acc[i]) {
+		acc[i] = res
+	}
+	return acc
 }
 
 func writeReport(rep *Report, path string) error {
@@ -195,16 +312,99 @@ func writeReport(rep *Report, path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports returns one line per gated scenario whose throughput
+// regressed by more than tolerance (a fraction, e.g. 0.2 = 20%) relative
+// to the baseline.
+//
+// The comparison is *normalized*: each run's scenarios are divided by the
+// geometric mean over the matched set before comparing, which cancels the
+// overall machine-speed factor (a different CI runner, a throttled or
+// contended box) and gates only the relative shape of the cost model — a
+// regression specific to one path shows up, a uniformly slower machine
+// does not. Only sequential rows (workers == 0) are gated: on small or
+// contended hosts the workers>0 rows measure goroutine scheduling noise,
+// not engine throughput (see PERF.md). Names present on only one side are
+// skipped, so adding or retiring a scenario never fails the gate.
+func compareReports(fresh, baseline *Report, tolerance float64) []string {
+	index := func(rep *Report) map[string]float64 {
+		out := make(map[string]float64)
+		for _, s := range rep.Scenarios {
+			if s.Workers == 0 {
+				out[s.Name] = s.PeerStagesPerSec
+			}
+		}
+		for _, s := range rep.Cluster {
+			if s.Workers == 0 {
+				out[s.Name] = s.PeerStagesPerSec
+			}
+		}
+		return out
+	}
+	base, cur := index(baseline), index(fresh)
+	var matched []string
+	for name, perf := range cur {
+		if want, ok := base[name]; ok && want > 0 && perf > 0 {
+			matched = append(matched, name)
+		}
+	}
+	if len(matched) < 2 {
+		// Normalization needs at least two rows to say anything.
+		return nil
+	}
+	sort.Strings(matched)
+	geomean := func(vals map[string]float64) float64 {
+		sum := 0.0
+		for _, name := range matched {
+			sum += math.Log(vals[name])
+		}
+		return math.Exp(sum / float64(len(matched)))
+	}
+	gBase, gCur := geomean(base), geomean(cur)
+	var fails []string
+	for _, name := range matched {
+		rel := (cur[name] / gCur) / (base[name] / gBase)
+		if rel < 1-tolerance {
+			fails = append(fails, fmt.Sprintf(
+				"%s: %.0f peer-stages/sec vs baseline %.0f (normalized %.1f%% below baseline shape, tolerance %.0f%%)",
+				name, cur[name], base[name], 100*(1-rel), 100*tolerance))
+		}
+	}
+	return fails
+}
+
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "output path for the JSON report")
 	stages := flag.Int("stages", 200, "steady-state stages measured per scenario")
-	full := flag.Bool("full", false, "include the N=100k scenarios (slow)")
+	full := flag.Bool("full", false, "include the N=100k and 100-channel scenarios (slow)")
+	repeat := flag.Int("repeat", 1, "measure each scenario N times and keep the fastest run")
+	baseline := flag.String("baseline", "", "committed report to gate against (empty disables)")
+	tolerance := flag.Float64("tolerance", 0.20, "max allowed throughput regression vs -baseline")
 	flag.Parse()
 	if *stages <= 0 {
 		fmt.Fprintln(os.Stderr, "hotbench: -stages must be positive")
 		os.Exit(2)
 	}
-	rep, err := buildReport(*stages, *full)
+	if *repeat <= 0 {
+		fmt.Fprintln(os.Stderr, "hotbench: -repeat must be positive")
+		os.Exit(2)
+	}
+	if *tolerance <= 0 || *tolerance >= 1 {
+		fmt.Fprintln(os.Stderr, "hotbench: -tolerance must lie in (0,1)")
+		os.Exit(2)
+	}
+	rep, err := buildReport(*stages, *repeat, *full)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotbench:", err)
 		os.Exit(1)
@@ -214,11 +414,29 @@ func main() {
 		os.Exit(1)
 	}
 	for _, s := range rep.Scenarios {
-		fmt.Printf("%-16s N=%-6d H=%-3d W=%-2d  %12.0f ns/stage  %10.0f peer-stages/sec  %6.2f allocs/stage\n",
+		fmt.Printf("%-22s N=%-6d H=%-3d W=%-2d  %12.0f ns/stage  %10.0f peer-stages/sec  %6.2f allocs/stage\n",
 			s.Name, s.Peers, s.Helpers, s.Workers, s.NsPerStage, s.PeerStagesPerSec, s.AllocsPerStage)
+	}
+	for _, s := range rep.Cluster {
+		fmt.Printf("%-22s C=%-4d N=%-6d H=%-3d W=%-2d  %10.0f ns/stage  %10.0f peer-stages/sec\n",
+			s.Name, s.Channels, s.Peers, s.Helpers, s.Workers, s.NsPerStage, s.PeerStagesPerSec)
 	}
 	for _, l := range rep.Learner {
 		fmt.Printf("learner m=%-4d  %8.1f ns/update  %6.2f allocs/update\n", l.M, l.NsPerOp, l.AllocsPerOp)
 	}
 	fmt.Println("wrote", *out)
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hotbench:", err)
+			os.Exit(1)
+		}
+		if fails := compareReports(rep, base, *tolerance); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "hotbench: REGRESSION:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("gate: no regression beyond %.0f%% vs %s\n", 100**tolerance, *baseline)
+	}
 }

@@ -4,13 +4,14 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 // The full pipeline must produce a parseable report whose scenarios cover
 // both engines, with the sequential stage loop allocation-free.
 func TestBuildAndWriteReport(t *testing.T) {
-	rep, err := buildReport(24, false)
+	rep, err := buildReport(24, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,5 +73,69 @@ func TestBuildAndWriteReport(t *testing.T) {
 	}
 	if parsed.GoVersion == "" || len(parsed.Scenarios) != len(rep.Scenarios) {
 		t.Fatalf("round-tripped report lost fields: %+v", parsed)
+	}
+	if len(parsed.Cluster) != len(rep.Cluster) || len(rep.Cluster) == 0 {
+		t.Fatalf("cluster rows lost in round trip: %d vs %d", len(parsed.Cluster), len(rep.Cluster))
+	}
+	for _, s := range rep.Cluster {
+		if s.StagesPerSec <= 0 || s.PeerStagesPerSec <= 0 {
+			t.Fatalf("%s: non-positive cluster throughput %+v", s.Name, s)
+		}
+	}
+}
+
+// The regression gate compares like-named sequential scenarios after
+// normalizing out the overall machine-speed factor.
+func TestCompareReports(t *testing.T) {
+	base := &Report{
+		Scenarios: []ScenarioResult{
+			{Name: "small-seq", PeerStagesPerSec: 4000},
+			{Name: "mid-seq", PeerStagesPerSec: 1000},
+			{Name: "retired", PeerStagesPerSec: 500},
+			{Name: "mid-workers8", Workers: 8, PeerStagesPerSec: 800},
+		},
+		Cluster: []ClusterResult{
+			{Name: "cluster-mid-seq", PeerStagesPerSec: 2000},
+		},
+	}
+	// A uniformly 2x slower machine with one path additionally ~40% slower:
+	// only that path must fail. The workers>0 row collapsing entirely and
+	// unmatched names must not matter.
+	fresh := &Report{
+		Scenarios: []ScenarioResult{
+			{Name: "small-seq", PeerStagesPerSec: 2000},
+			{Name: "mid-seq", PeerStagesPerSec: 500},
+			{Name: "brand-new", PeerStagesPerSec: 1},
+			{Name: "mid-workers8", Workers: 8, PeerStagesPerSec: 10},
+		},
+		Cluster: []ClusterResult{
+			{Name: "cluster-mid-seq", PeerStagesPerSec: 600}, // 2x machine + real regression
+		},
+	}
+	fails := compareReports(fresh, base, 0.20)
+	if len(fails) != 1 {
+		t.Fatalf("fails = %v, want exactly the cluster regression", fails)
+	}
+	if got := fails[0]; !strings.Contains(got, "cluster-mid-seq") || !strings.Contains(got, "tolerance") {
+		t.Fatalf("unhelpful failure message: %q", got)
+	}
+	// A uniform slowdown alone never fails: identical shape, halved speed.
+	uniform := &Report{
+		Scenarios: []ScenarioResult{
+			{Name: "small-seq", PeerStagesPerSec: 2000},
+			{Name: "mid-seq", PeerStagesPerSec: 500},
+		},
+		Cluster: []ClusterResult{
+			{Name: "cluster-mid-seq", PeerStagesPerSec: 1000},
+		},
+	}
+	if fails := compareReports(uniform, base, 0.20); len(fails) != 0 {
+		t.Fatalf("uniform slowdown tripped the gate: %v", fails)
+	}
+	// Fewer than two matched rows: normalization is meaningless, gate is
+	// silent rather than wrong.
+	tiny := &Report{Scenarios: []ScenarioResult{{Name: "mid-seq", PeerStagesPerSec: 1}}}
+	if fails := compareReports(tiny, base, 0.20); len(fails) != 0 {
+		t.Fatalf("single-row comparison should be silent, got %v", fails)
 	}
 }

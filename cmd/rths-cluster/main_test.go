@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rths"
+)
+
+func TestRunSmallPresetEmitsEpochJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "small", "-epochs", "3"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var m rths.ClusterEpochMetrics
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		if m.Epoch != lines {
+			t.Fatalf("epoch %d on line %d", m.Epoch, lines)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("emitted %d epoch records, want 3", lines)
+	}
+	if !strings.Contains(errOut.String(), "cluster:") {
+		t.Fatalf("missing summary: %q", errOut.String())
+	}
+}
+
+func TestRunWorkersReproducible(t *testing.T) {
+	emit := func(workers string) string {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-preset", "small", "-epochs", "2", "-workers", workers}, &out, &errOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if seq, par := emit("0"), emit("4"); seq != par {
+		t.Fatalf("worker count changed the metrics:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestRunAllocators(t *testing.T) {
+	for _, name := range []string{"greedy", "proportional", "static"} {
+		var out, errOut bytes.Buffer
+		args := []string{"-preset", "small", "-epochs", "2", "-alloc", name}
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("alloc %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "galactic"}, &out, &errOut); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if err := run([]string{"-alloc", "psychic"}, &out, &errOut); err == nil {
+		t.Fatal("unknown allocator accepted")
+	}
+}

@@ -20,6 +20,7 @@ package alloc
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -35,9 +36,19 @@ type Assignment []int
 // Greedy assigns every helper to a channel by largest-remaining-deficit
 // first, considering helpers in decreasing capacity order. capacities[h]
 // is helper h's (expected) upload bandwidth.
+//
+// Edge cases are defined, not errors: an empty pool yields an empty
+// assignment (every channel keeps its full demand as deficit), and
+// zero-capacity helpers are assigned like any other (they contribute no
+// supply). More channels than helpers simply leaves some channels without
+// helpers. Only negative demands/capacities and an empty channel list are
+// rejected.
 func Greedy(channels []Channel, capacities []float64) (Assignment, error) {
 	if err := validate(channels, capacities); err != nil {
 		return nil, err
+	}
+	if len(capacities) == 0 {
+		return Assignment{}, nil
 	}
 	type idxCap struct {
 		idx int
@@ -69,6 +80,69 @@ func Greedy(channels []Channel, capacities []float64) (Assignment, error) {
 	return out, nil
 }
 
+// GreedyMinOne is Greedy under a coverage constraint: as long as helpers
+// remain, every channel receives at least one — the largest helpers seed
+// the largest demands first (ties: lowest channel index) — and the rest of
+// the pool follows the largest-remaining-deficit rule. The cluster's
+// re-allocation loop uses it because every channel must keep a non-empty
+// pool for its peer-level game to run; plain Greedy concentrates the whole
+// pool on the worst deficits and a repair pass afterwards can only produce
+// a worse assignment than never concentrating in the first place.
+//
+// With fewer helpers than channels the largest-demand channels are covered
+// and the rest are left empty; an empty pool yields an empty assignment.
+func GreedyMinOne(channels []Channel, capacities []float64) (Assignment, error) {
+	if err := validate(channels, capacities); err != nil {
+		return nil, err
+	}
+	if len(capacities) == 0 {
+		return Assignment{}, nil
+	}
+	type idxCap struct {
+		idx int
+		cap float64
+	}
+	order := make([]idxCap, len(capacities))
+	for h, c := range capacities {
+		order[h] = idxCap{idx: h, cap: c}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].cap > order[b].cap })
+
+	chOrder := make([]int, len(channels))
+	for c := range chOrder {
+		chOrder[c] = c
+	}
+	sort.SliceStable(chOrder, func(a, b int) bool {
+		return channels[chOrder[a]].Demand > channels[chOrder[b]].Demand
+	})
+
+	remaining := make([]float64, len(channels))
+	for c, ch := range channels {
+		remaining[c] = ch.Demand
+	}
+	out := make(Assignment, len(capacities))
+	hi := 0
+	// Coverage pass: k-th largest helper to the k-th largest demand.
+	for k := 0; k < len(chOrder) && hi < len(order); k++ {
+		hc := order[hi]
+		hi++
+		out[hc.idx] = chOrder[k]
+		remaining[chOrder[k]] -= hc.cap
+	}
+	// Deficit pass: the rest of the pool follows Greedy's rule.
+	for ; hi < len(order); hi++ {
+		best := 0
+		for c := 1; c < len(remaining); c++ {
+			if remaining[c] > remaining[best] {
+				best = c
+			}
+		}
+		out[order[hi].idx] = best
+		remaining[best] -= order[hi].cap
+	}
+	return out, nil
+}
+
 // Proportional splits the pool by demand share with the largest-remainder
 // method. Channel c receives round(poolSize · demand_c / Σ demand) helpers
 // (adjusted so the counts sum to the pool size); helpers are then dealt in
@@ -83,7 +157,7 @@ func Proportional(channels []Channel, poolSize int) ([]int, error) {
 	}
 	total := 0.0
 	for c, ch := range channels {
-		if ch.Demand < 0 {
+		if ch.Demand < 0 || math.IsNaN(ch.Demand) {
 			return nil, fmt.Errorf("alloc: channel %d demand %g", c, ch.Demand)
 		}
 		total += ch.Demand
@@ -143,7 +217,8 @@ func richest(counts []int) int {
 }
 
 // Deficits returns each channel's residual demand max(0, demand - supply)
-// under the assignment.
+// under the assignment. An empty pool (len(a) == len(capacities) == 0) is
+// well-defined: every channel's deficit is its full demand.
 func Deficits(channels []Channel, capacities []float64, a Assignment) ([]float64, error) {
 	if err := validate(channels, capacities); err != nil {
 		return nil, err
@@ -187,16 +262,13 @@ func validate(channels []Channel, capacities []float64) error {
 	if len(channels) == 0 {
 		return errors.New("alloc: no channels")
 	}
-	if len(capacities) == 0 {
-		return errors.New("alloc: no helpers")
-	}
 	for c, ch := range channels {
-		if ch.Demand < 0 {
+		if ch.Demand < 0 || math.IsNaN(ch.Demand) {
 			return fmt.Errorf("alloc: channel %d demand %g", c, ch.Demand)
 		}
 	}
 	for h, cap := range capacities {
-		if cap <= 0 {
+		if cap < 0 || math.IsNaN(cap) {
 			return fmt.Errorf("alloc: helper %d capacity %g", h, cap)
 		}
 	}

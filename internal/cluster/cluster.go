@@ -1,0 +1,866 @@
+// Package cluster is the multi-channel runtime of the paper's title: many
+// live channels share one pool of helper micro-servers, the pool is
+// re-assigned across channels as audiences shift (the §V helper-level
+// allocation), and inside each channel every peer adapts its selection with
+// RTHS over the channel's *current* pool. It composes the pieces the
+// repository already has — internal/core for the per-channel game,
+// internal/alloc for the helper-level allocators, internal/markov for
+// channel-switching viewers, internal/streaming for playback continuity —
+// into one engine with two loops:
+//
+//   - The stage loop steps every channel. Channels are independent systems
+//     with private RNG streams, so they step in parallel on a shared worker
+//     pool (channel ci belongs to shard ci mod Workers) and the per-epoch
+//     aggregates are reduced in channel-index order. Unlike core's
+//     peer-sharded engine, the worker count never touches an RNG stream:
+//     results are bit-identical for every Workers value, not just for a
+//     fixed one (pinned by TestDeterministicAcrossWorkers).
+//
+//   - The epoch loop fires every EpochStages stages: per-channel demands
+//     (audience × bitrate) are measured, the configured allocator proposes
+//     a new helper→channel assignment, and if it beats the current one by
+//     more than Hysteresis in maximum deficit the moved helpers migrate —
+//     core.RemoveHelper on the losing channel, core.AddHelper on the
+//     gaining one, which drives AddAction/RemoveAction churn through every
+//     affected peer's learner.
+//
+// All channels share one utility scale (the global maximum helper level,
+// via core.Config.UtilityScale) so a migrating helper never exceeds the
+// receiving channel's normalization.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"rths/internal/alloc"
+	"rths/internal/core"
+	"rths/internal/markov"
+	"rths/internal/streaming"
+	"rths/internal/xrand"
+)
+
+// AllocatorKind selects the epoch re-allocation policy.
+type AllocatorKind int
+
+// Allocator kinds.
+const (
+	// AllocGreedy re-assigns with alloc.Greedy (largest-remaining-deficit
+	// first); the default.
+	AllocGreedy AllocatorKind = iota
+	// AllocProportional sizes per-channel pools with alloc.Proportional and
+	// deals helpers in index order.
+	AllocProportional
+	// AllocStatic freezes the initial assignment — the baseline the
+	// adaptive allocators are measured against.
+	AllocStatic
+)
+
+func (k AllocatorKind) String() string {
+	switch k {
+	case AllocGreedy:
+		return "greedy"
+	case AllocProportional:
+		return "proportional"
+	case AllocStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("AllocatorKind(%d)", int(k))
+	}
+}
+
+// ChannelSpec describes one live channel.
+type ChannelSpec struct {
+	// Name identifies the channel in results.
+	Name string
+	// Bitrate is the media bitrate (kbps); it becomes each viewer's demand.
+	Bitrate float64
+	// InitialPeers seeds the audience.
+	InitialPeers int
+}
+
+// SwitchingConfig enables Markov channel-switching viewers: each stage a
+// viewer stays on its channel with probability 1-SwitchProb, otherwise it
+// zaps to another channel with probability proportional to that channel's
+// Zipf popularity weight (rank^-ZipfS in channel order).
+type SwitchingConfig struct {
+	SwitchProb float64
+	ZipfS      float64
+}
+
+// FlashCrowd injects Peers new viewers into Channel at Stage — the event
+// that shifts demand faster than any stationary workload and makes the
+// re-allocation loop earn its keep.
+type FlashCrowd struct {
+	Stage   int
+	Channel int
+	Peers   int
+}
+
+// Config assembles a cluster.
+type Config struct {
+	// Channels are the live channels; len >= 1.
+	Channels []ChannelSpec
+	// Helpers is the shared global pool; len >= len(Channels) so that every
+	// channel can always hold at least one helper.
+	Helpers []core.HelperSpec
+	// Allocator picks the re-allocation policy (default AllocGreedy).
+	Allocator AllocatorKind
+	// EpochStages is the number of stages between re-allocation epochs
+	// (default 50).
+	EpochStages int
+	// Hysteresis is the minimum improvement in maximum deficit (kbps) a
+	// proposed assignment must deliver before helpers migrate. 0 means any
+	// strict improvement triggers migration; ties never migrate, so a
+	// steady workload reaches a fixed assignment and stops churning.
+	Hysteresis float64
+	// Workers sizes the channel-stepping worker pool. Unlike core's
+	// peer-sharded engine, results are bit-identical for every Workers
+	// value: parallelism is across channels, which never share an RNG
+	// stream, and reductions run in channel order. 0 or 1 steps serially.
+	Workers int
+	// Seed drives all randomness.
+	Seed uint64
+	// Factory builds selection policies (nil = RTHS learners). Policies
+	// must implement core.DynamicSelector for helper migration to work.
+	Factory core.SelectorFactory
+	// Switching enables Markov channel-switching viewers (nil disables).
+	Switching *SwitchingConfig
+	// Flash are scheduled flash-crowd events (may be empty).
+	Flash []FlashCrowd
+	// StartupStages is the playout-buffer startup threshold in stages of
+	// media (default 2); it shapes the continuity metric.
+	StartupStages float64
+}
+
+// EpochMetrics is the cluster's per-epoch observable — the JSON record
+// cmd/rths-cluster emits. All fields are reduced in channel-index order,
+// so a fixed Seed yields bit-identical values for every Workers count.
+type EpochMetrics struct {
+	// Epoch is the 0-based epoch index; the epoch covers Stages stages
+	// ending at stage (Epoch+1)*Stages.
+	Epoch  int `json:"epoch"`
+	Stages int `json:"stages"`
+	// ActivePeers is the audience size at the epoch boundary.
+	ActivePeers int `json:"active_peers"`
+	// WelfareRatio is Σ welfare / Σ optimal welfare over the epoch's stages
+	// (1 when the optimum is zero).
+	WelfareRatio float64 `json:"welfare_ratio"`
+	// MeanServerLoad is the per-stage mean of the surplus demand the origin
+	// server absorbs (kbps).
+	MeanServerLoad float64 `json:"mean_server_load"`
+	// MeanMinDeficit is the per-stage mean of the analytic minimum
+	// bandwidth deficit (kbps).
+	MeanMinDeficit float64 `json:"mean_min_deficit"`
+	// Continuity is played/(played+stalled) across all viewer playout
+	// buffers over the epoch (1 when no viewer ticked).
+	Continuity float64 `json:"continuity"`
+	// MaxDeficit is the worst channel's residual demand (kbps) under the
+	// post-boundary assignment and expected helper capacities — the
+	// quantity the greedy allocator minimizes.
+	MaxDeficit float64 `json:"max_deficit"`
+	// Moves is the number of helpers migrated at this epoch's boundary.
+	Moves int `json:"helper_moves"`
+	// Switches is the number of viewer channel switches during the epoch.
+	Switches int `json:"viewer_switches"`
+	// Joins is the number of viewers that joined during the epoch.
+	Joins int `json:"viewer_joins"`
+}
+
+type location struct {
+	channel int
+	local   int
+}
+
+type globalHelper struct {
+	spec core.HelperSpec
+	// expCap is the stationary-expected capacity: the sticky level chain's
+	// stationary distribution is uniform, so this is the mean level.
+	expCap float64
+}
+
+// channel is one live channel's runtime state. During the parallel stage
+// phase exactly one worker touches a channel, so the per-epoch accumulators
+// need no synchronization.
+type channel struct {
+	name      string
+	bitrate   float64
+	sys       *core.System
+	peerIDs   []int               // global viewer ids, parallel to sys peer indices
+	bufs      []*streaming.Buffer // playout buffers, parallel to peerIDs
+	helperIDs []int               // global helper ids, parallel to sys helper indices
+
+	// Per-epoch accumulators, reset at each boundary.
+	welfare    float64
+	opt        float64
+	serverLoad float64
+	minDeficit float64
+	played     int
+	stalled    int
+	err        error
+}
+
+// Cluster is a running multi-channel system.
+type Cluster struct {
+	channels []*channel
+	helpers  []globalHelper
+	assign   alloc.Assignment // helper -> channel
+	byPeer   map[int]location
+
+	// viewerIDs lists active viewers in ascending global id — the
+	// deterministic iteration order of the switching pass.
+	viewerIDs []int
+
+	allocator   AllocatorKind
+	epochStages int
+	hysteresis  float64
+	workers     int
+	startup     float64
+	factory     core.SelectorFactory // nil = RTHS default
+	scale       float64              // shared utility scale
+
+	switchChain *markov.Chain
+	viewerRng   *xrand.Rand
+	flash       []FlashCrowd // sorted by stage
+	flashIdx    int
+
+	stage  int
+	epoch  int
+	nextID int
+
+	// Per-epoch event counters.
+	switches int
+	joins    int
+
+	// Reusable epoch scratch.
+	demands []alloc.Channel
+	expCaps []float64
+}
+
+// New builds a cluster from the config.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Channels) == 0 {
+		return nil, errors.New("cluster: no channels")
+	}
+	if len(cfg.Helpers) < len(cfg.Channels) {
+		return nil, fmt.Errorf("cluster: %d helpers for %d channels (need at least one per channel)",
+			len(cfg.Helpers), len(cfg.Channels))
+	}
+	if cfg.EpochStages < 0 {
+		return nil, fmt.Errorf("cluster: EpochStages=%d", cfg.EpochStages)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("cluster: Workers=%d", cfg.Workers)
+	}
+	if cfg.Hysteresis < 0 {
+		return nil, fmt.Errorf("cluster: Hysteresis=%g", cfg.Hysteresis)
+	}
+	if cfg.StartupStages < 0 {
+		return nil, fmt.Errorf("cluster: StartupStages=%g", cfg.StartupStages)
+	}
+	switch cfg.Allocator {
+	case AllocGreedy, AllocProportional, AllocStatic:
+	default:
+		return nil, fmt.Errorf("cluster: unknown allocator %v", cfg.Allocator)
+	}
+	c := &Cluster{
+		byPeer:      make(map[int]location),
+		allocator:   cfg.Allocator,
+		epochStages: cfg.EpochStages,
+		hysteresis:  cfg.Hysteresis,
+		workers:     cfg.Workers,
+		startup:     cfg.StartupStages,
+		factory:     cfg.Factory,
+	}
+	if c.epochStages == 0 {
+		c.epochStages = 50
+	}
+	if c.startup == 0 {
+		c.startup = 2
+	}
+
+	// Global pool: expected capacities and the shared utility scale.
+	scale := 0.0
+	c.helpers = make([]globalHelper, len(cfg.Helpers))
+	for h, spec := range cfg.Helpers {
+		if len(spec.Levels) == 0 {
+			return nil, fmt.Errorf("cluster: helper %d has no levels", h)
+		}
+		sum := 0.0
+		for _, lv := range spec.Levels {
+			if lv <= 0 {
+				return nil, fmt.Errorf("cluster: helper %d level %g", h, lv)
+			}
+			sum += lv
+			if lv > scale {
+				scale = lv
+			}
+		}
+		c.helpers[h] = globalHelper{spec: spec, expCap: sum / float64(len(spec.Levels))}
+	}
+	c.scale = scale
+	c.expCaps = make([]float64, len(c.helpers))
+	for h := range c.helpers {
+		c.expCaps[h] = c.helpers[h].expCap
+	}
+
+	// Initial demands and assignment.
+	c.demands = make([]alloc.Channel, len(cfg.Channels))
+	for ci, ch := range cfg.Channels {
+		if ch.Bitrate <= 0 {
+			return nil, fmt.Errorf("cluster: channel %q bitrate %g", ch.Name, ch.Bitrate)
+		}
+		if ch.InitialPeers < 0 {
+			return nil, fmt.Errorf("cluster: channel %q initial peers %d", ch.Name, ch.InitialPeers)
+		}
+		c.demands[ci] = alloc.Channel{Name: ch.Name, Demand: float64(ch.InitialPeers) * ch.Bitrate}
+	}
+	assign, err := c.propose()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: initial allocation: %w", err)
+	}
+	c.assign = assign
+
+	// Build channels. The RNG budget is drawn in a fixed order (viewer
+	// stream first, then one seed per channel), so construction is
+	// reproducible and independent of Workers.
+	master := xrand.New(cfg.Seed)
+	c.viewerRng = master.Split()
+	for ci, spec := range cfg.Channels {
+		var pool []core.HelperSpec
+		var ids []int
+		for h, target := range c.assign {
+			if target == ci {
+				pool = append(pool, c.helpers[h].spec)
+				ids = append(ids, h)
+			}
+		}
+		sys, err := core.New(core.Config{
+			NumPeers:      spec.InitialPeers,
+			Helpers:       pool,
+			Factory:       cfg.Factory,
+			Seed:          master.Uint64(),
+			DemandPerPeer: spec.Bitrate,
+			UtilityScale:  scale,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: channel %q: %w", spec.Name, err)
+		}
+		st := &channel{name: spec.Name, bitrate: spec.Bitrate, sys: sys, helperIDs: ids}
+		for i := 0; i < spec.InitialPeers; i++ {
+			buf, err := streaming.NewBuffer(spec.Bitrate, c.startup)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: channel %q buffer: %w", spec.Name, err)
+			}
+			st.peerIDs = append(st.peerIDs, c.nextID)
+			st.bufs = append(st.bufs, buf)
+			c.byPeer[c.nextID] = location{channel: ci, local: i}
+			c.viewerIDs = append(c.viewerIDs, c.nextID)
+			c.nextID++
+		}
+		c.channels = append(c.channels, st)
+	}
+
+	// Viewer switching chain.
+	if cfg.Switching != nil {
+		if len(cfg.Channels) < 2 {
+			return nil, errors.New("cluster: switching needs >= 2 channels")
+		}
+		weights := zipfWeights(len(cfg.Channels), cfg.Switching.ZipfS)
+		chain, err := markov.StickyWeighted(weights, cfg.Switching.SwitchProb)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: switching chain: %w", err)
+		}
+		c.switchChain = chain
+	}
+
+	// Flash schedule, ordered by stage.
+	c.flash = append([]FlashCrowd(nil), cfg.Flash...)
+	sort.SliceStable(c.flash, func(a, b int) bool { return c.flash[a].Stage < c.flash[b].Stage })
+	for _, f := range c.flash {
+		if f.Stage < 0 || f.Peers < 0 || f.Channel < 0 || f.Channel >= len(c.channels) {
+			return nil, fmt.Errorf("cluster: flash crowd %+v invalid", f)
+		}
+	}
+	return c, nil
+}
+
+// zipfWeights returns the popularity weights rank^-s in channel order.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for k := range w {
+		w[k] = 1 / math.Pow(float64(k+1), s)
+	}
+	return w
+}
+
+// NumChannels returns the channel count.
+func (c *Cluster) NumChannels() int { return len(c.channels) }
+
+// NumHelpers returns the global pool size.
+func (c *Cluster) NumHelpers() int { return len(c.helpers) }
+
+// ActivePeers returns the total audience size.
+func (c *Cluster) ActivePeers() int { return len(c.byPeer) }
+
+// ChannelAudience returns the number of viewers watching channel ci.
+func (c *Cluster) ChannelAudience(ci int) int { return len(c.channels[ci].peerIDs) }
+
+// ChannelPool returns the number of helpers currently assigned to channel ci.
+func (c *Cluster) ChannelPool(ci int) int { return len(c.channels[ci].helperIDs) }
+
+// Stage returns the number of completed stages.
+func (c *Cluster) Stage() int { return c.stage }
+
+// Epoch returns the number of completed epochs.
+func (c *Cluster) Epoch() int { return c.epoch }
+
+// Assignment returns a copy of the current helper→channel assignment.
+func (c *Cluster) Assignment() alloc.Assignment {
+	return append(alloc.Assignment(nil), c.assign...)
+}
+
+// MaxDeficit evaluates the current assignment against the channels'
+// current demands (audience × bitrate) and expected helper capacities.
+func (c *Cluster) MaxDeficit() (float64, error) {
+	c.refreshDemands()
+	return alloc.MaxDeficit(c.demands, c.expCaps, c.assign)
+}
+
+// refreshDemands rewrites the demand scratch from current audiences.
+func (c *Cluster) refreshDemands() {
+	for ci, st := range c.channels {
+		c.demands[ci] = alloc.Channel{Name: st.name, Demand: float64(len(st.peerIDs)) * st.bitrate}
+	}
+}
+
+// propose computes the allocator's assignment for the current demand
+// scratch. Every channel ends up with at least one helper: the greedy path
+// is coverage-aware by construction (alloc.GreedyMinOne), the proportional
+// path is repaired for zero-demand channels.
+func (c *Cluster) propose() (alloc.Assignment, error) {
+	switch c.allocator {
+	case AllocProportional:
+		counts, err := alloc.Proportional(c.demands, len(c.helpers))
+		if err != nil {
+			return nil, err
+		}
+		a := assignmentFromCounts(counts)
+		c.repairMinOne(a)
+		return a, nil
+	default: // AllocGreedy, and the initial assignment for AllocStatic
+		return alloc.GreedyMinOne(c.demands, c.expCaps)
+	}
+}
+
+// assignmentFromCounts deals helpers in index order: the first counts[0]
+// helpers go to channel 0, the next counts[1] to channel 1, and so on.
+func assignmentFromCounts(counts []int) alloc.Assignment {
+	var a alloc.Assignment
+	for ci, n := range counts {
+		for k := 0; k < n; k++ {
+			a = append(a, ci)
+		}
+	}
+	return a
+}
+
+// repairMinOne rebalances the assignment in place so every channel holds at
+// least one helper (possible because New requires H >= C): each starved
+// channel takes the lowest-expected-capacity helper from the channel with
+// the most helpers (ties: lowest channel index, then highest helper id).
+func (c *Cluster) repairMinOne(a alloc.Assignment) {
+	// Sized from the demand scratch, not c.channels: the initial proposal
+	// runs before the channel states exist.
+	counts := make([]int, len(c.demands))
+	for _, ci := range a {
+		counts[ci]++
+	}
+	for ci := range c.demands {
+		if counts[ci] > 0 {
+			continue
+		}
+		donor := 0
+		for d := 1; d < len(counts); d++ {
+			if counts[d] > counts[donor] {
+				donor = d
+			}
+		}
+		pick := -1
+		for h, target := range a {
+			if target != donor {
+				continue
+			}
+			if pick < 0 || c.helpers[h].expCap <= c.helpers[pick].expCap {
+				pick = h
+			}
+		}
+		a[pick] = ci
+		counts[donor]--
+		counts[ci]++
+	}
+}
+
+// Run advances the cluster `epochs` epochs, invoking observe (if non-nil)
+// after each boundary.
+func (c *Cluster) Run(epochs int, observe func(EpochMetrics)) error {
+	for e := 0; e < epochs; e++ {
+		m, err := c.RunEpoch()
+		if err != nil {
+			return err
+		}
+		if observe != nil {
+			observe(m)
+		}
+	}
+	return nil
+}
+
+// RunEpoch advances EpochStages stages, then runs the re-allocation
+// boundary and returns the epoch's metrics.
+func (c *Cluster) RunEpoch() (EpochMetrics, error) {
+	for s := 0; s < c.epochStages; s++ {
+		if err := c.step(); err != nil {
+			return EpochMetrics{}, err
+		}
+	}
+	return c.boundary()
+}
+
+// step advances every channel one stage: scenario events first (flash
+// crowds, Markov switching — sequential, deterministic order), then the
+// parallel channel-stepping phase.
+func (c *Cluster) step() error {
+	for c.flashIdx < len(c.flash) && c.flash[c.flashIdx].Stage == c.stage {
+		f := c.flash[c.flashIdx]
+		for k := 0; k < f.Peers; k++ {
+			if err := c.join(f.Channel); err != nil {
+				return err
+			}
+		}
+		c.flashIdx++
+	}
+	if c.switchChain != nil {
+		// Iterate in ascending global id so the shared viewer RNG stream is
+		// consumed in a reproducible order.
+		for _, id := range c.viewerIDs {
+			cur := c.byPeer[id].channel
+			next := c.switchChain.Step(c.viewerRng, cur)
+			if next == cur {
+				continue
+			}
+			if err := c.move(id, next); err != nil {
+				return err
+			}
+			c.switches++
+		}
+	}
+	if err := c.stepChannels(); err != nil {
+		return err
+	}
+	c.stage++
+	return nil
+}
+
+// stepChannels runs every channel's stage, fanning out to Workers
+// goroutines (channel ci on worker ci mod Workers) when the pool is
+// enabled. Channels never share state within a stage, so the fan-out has
+// no effect on results — only on wall-clock.
+func (c *Cluster) stepChannels() error {
+	if c.workers > 1 && len(c.channels) >= c.workers {
+		var wg sync.WaitGroup
+		wg.Add(c.workers)
+		for k := 0; k < c.workers; k++ {
+			go func(k int) {
+				defer wg.Done()
+				for ci := k; ci < len(c.channels); ci += c.workers {
+					c.channels[ci].step()
+				}
+			}(k)
+		}
+		wg.Wait()
+	} else {
+		for _, st := range c.channels {
+			st.step()
+		}
+	}
+	for _, st := range c.channels {
+		if st.err != nil {
+			err := st.err
+			st.err = nil
+			return fmt.Errorf("cluster: channel %q: %w", st.name, err)
+		}
+	}
+	return nil
+}
+
+// step advances one channel one stage and accumulates its epoch partials.
+// Runs on the worker pool; touches only this channel's state.
+func (ch *channel) step() {
+	res, err := ch.sys.Step()
+	if err != nil {
+		ch.err = err
+		return
+	}
+	ch.welfare += res.Welfare
+	ch.opt += res.OptWelfare
+	ch.serverLoad += res.ServerLoad
+	ch.minDeficit += res.MinDeficit
+	for i, b := range ch.bufs {
+		ok, err := b.Tick(res.Rates[i])
+		if err != nil {
+			ch.err = err
+			return
+		}
+		if ok {
+			ch.played++
+		} else {
+			ch.stalled++
+		}
+	}
+}
+
+// boundary reduces the epoch metrics in channel order, runs the
+// re-allocation, and resets the accumulators.
+func (c *Cluster) boundary() (EpochMetrics, error) {
+	var welfare, opt, serverLoad, minDeficit float64
+	var played, stalled int
+	for _, st := range c.channels {
+		welfare += st.welfare
+		opt += st.opt
+		serverLoad += st.serverLoad
+		minDeficit += st.minDeficit
+		played += st.played
+		stalled += st.stalled
+		st.welfare, st.opt, st.serverLoad, st.minDeficit = 0, 0, 0, 0
+		st.played, st.stalled = 0, 0
+	}
+	moves, err := c.reallocate()
+	if err != nil {
+		return EpochMetrics{}, err
+	}
+	maxDef, err := alloc.MaxDeficit(c.demands, c.expCaps, c.assign)
+	if err != nil {
+		return EpochMetrics{}, fmt.Errorf("cluster: epoch deficit: %w", err)
+	}
+	m := EpochMetrics{
+		Epoch:          c.epoch,
+		Stages:         c.epochStages,
+		ActivePeers:    len(c.byPeer),
+		WelfareRatio:   1,
+		MeanServerLoad: serverLoad / float64(c.epochStages),
+		MeanMinDeficit: minDeficit / float64(c.epochStages),
+		Continuity:     1,
+		MaxDeficit:     maxDef,
+		Moves:          moves,
+		Switches:       c.switches,
+		Joins:          c.joins,
+	}
+	if opt > 0 {
+		m.WelfareRatio = welfare / opt
+	}
+	if played+stalled > 0 {
+		m.Continuity = float64(played) / float64(played+stalled)
+	}
+	c.switches, c.joins = 0, 0
+	c.epoch++
+	return m, nil
+}
+
+// reallocate measures current demands, asks the allocator for a proposal,
+// and migrates helpers if the proposal beats the current assignment's
+// maximum deficit by more than the hysteresis. Returns the number of
+// helpers moved.
+func (c *Cluster) reallocate() (int, error) {
+	c.refreshDemands()
+	if c.allocator == AllocStatic {
+		return 0, nil
+	}
+	proposal, err := c.propose()
+	if err != nil {
+		return 0, fmt.Errorf("cluster: reallocation: %w", err)
+	}
+	curDef, err := alloc.MaxDeficit(c.demands, c.expCaps, c.assign)
+	if err != nil {
+		return 0, err
+	}
+	newDef, err := alloc.MaxDeficit(c.demands, c.expCaps, proposal)
+	if err != nil {
+		return 0, err
+	}
+	if newDef >= curDef-c.hysteresis {
+		return 0, nil
+	}
+	c.stabilize(proposal)
+	return c.migrate(proposal)
+}
+
+// stabilize relabels the proposal in place to minimize physical moves:
+// helpers with equal expected capacity are interchangeable for the deficit
+// objective, so within each capacity class every helper that can keep its
+// current channel does, and only the class's net flow migrates. Iteration
+// is in (capacity, id) order, so the result is deterministic.
+func (c *Cluster) stabilize(next alloc.Assignment) {
+	ids := make([]int, len(c.helpers))
+	for h := range ids {
+		ids[h] = h
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		return c.helpers[ids[a]].expCap > c.helpers[ids[b]].expCap
+	})
+	need := make([]int, len(c.channels))
+	for lo := 0; lo < len(ids); {
+		hi := lo
+		for hi < len(ids) && c.helpers[ids[hi]].expCap == c.helpers[ids[lo]].expCap {
+			hi++
+		}
+		class := ids[lo:hi]
+		// The class's proposed per-channel counts.
+		for ci := range need {
+			need[ci] = 0
+		}
+		for _, h := range class {
+			need[next[h]]++
+		}
+		// Helpers whose current channel still wants one from this class stay.
+		pending := class[:0:0]
+		for _, h := range class {
+			if cur := c.assign[h]; need[cur] > 0 {
+				need[cur]--
+				next[h] = cur
+			} else {
+				pending = append(pending, h)
+			}
+		}
+		// The rest take the remaining demand in channel-index order.
+		ci := 0
+		for _, h := range pending {
+			for need[ci] == 0 {
+				ci++
+			}
+			need[ci]--
+			next[h] = ci
+		}
+		lo = hi
+	}
+}
+
+// migrate applies the new assignment: additions first so no channel is
+// ever left empty, then removals. Helpers restart their bandwidth chain on
+// arrival (AddHelper draws a fresh initial state from the receiving
+// channel's stream) — migration is a physical re-deployment, not a live
+// hand-off.
+func (c *Cluster) migrate(next alloc.Assignment) (int, error) {
+	moves := 0
+	for h, target := range next {
+		if c.assign[h] == target {
+			continue
+		}
+		dst := c.channels[target]
+		if err := dst.sys.AddHelper(c.helpers[h].spec); err != nil {
+			return moves, fmt.Errorf("cluster: migrate helper %d to %q: %w", h, dst.name, err)
+		}
+		dst.helperIDs = append(dst.helperIDs, h)
+		moves++
+	}
+	for h, target := range next {
+		if c.assign[h] == target {
+			continue
+		}
+		src := c.channels[c.assign[h]]
+		local := -1
+		for j, id := range src.helperIDs {
+			if id == h {
+				local = j
+				break
+			}
+		}
+		if local < 0 {
+			return moves, fmt.Errorf("cluster: helper %d missing from channel %q", h, src.name)
+		}
+		if err := src.sys.RemoveHelper(local); err != nil {
+			return moves, fmt.Errorf("cluster: migrate helper %d from %q: %w", h, src.name, err)
+		}
+		src.helperIDs = append(src.helperIDs[:local], src.helperIDs[local+1:]...)
+	}
+	c.assign = next
+	return moves, nil
+}
+
+// newSelector builds a mid-run viewer's selection policy from the
+// configured factory (nil lets AddPeer construct the RTHS default), so
+// flash-crowd joiners and channel switchers run the same policy family as
+// the initial audience.
+func (c *Cluster) newSelector(st *channel) (core.Selector, error) {
+	if c.factory == nil {
+		return nil, nil
+	}
+	return c.factory(st.sys.NumPeers(), st.sys.NumHelpers(), c.scale)
+}
+
+// join adds a fresh viewer to channel ci with a new learner and an empty
+// playout buffer.
+func (c *Cluster) join(ci int) error {
+	st := c.channels[ci]
+	sel, err := c.newSelector(st)
+	if err != nil {
+		return fmt.Errorf("cluster: join channel %q: %w", st.name, err)
+	}
+	local, err := st.sys.AddPeer(sel, st.bitrate)
+	if err != nil {
+		return fmt.Errorf("cluster: join channel %q: %w", st.name, err)
+	}
+	buf, err := streaming.NewBuffer(st.bitrate, c.startup)
+	if err != nil {
+		return fmt.Errorf("cluster: join channel %q: %w", st.name, err)
+	}
+	id := c.nextID
+	c.nextID++
+	st.peerIDs = append(st.peerIDs, id)
+	st.bufs = append(st.bufs, buf)
+	c.byPeer[id] = location{channel: ci, local: local}
+	c.viewerIDs = append(c.viewerIDs, id)
+	c.joins++
+	return nil
+}
+
+// move switches viewer id to channel `to`: selection state and buffer are
+// fresh on arrival, since both the helper pool and the bitrate change.
+func (c *Cluster) move(id, to int) error {
+	loc, ok := c.byPeer[id]
+	if !ok {
+		return fmt.Errorf("cluster: viewer %d not active", id)
+	}
+	if loc.channel == to {
+		return nil
+	}
+	src := c.channels[loc.channel]
+	if err := src.sys.RemovePeer(loc.local); err != nil {
+		return fmt.Errorf("cluster: leave channel %q: %w", src.name, err)
+	}
+	src.peerIDs = append(src.peerIDs[:loc.local], src.peerIDs[loc.local+1:]...)
+	src.bufs = append(src.bufs[:loc.local], src.bufs[loc.local+1:]...)
+	for i := loc.local; i < len(src.peerIDs); i++ {
+		c.byPeer[src.peerIDs[i]] = location{channel: loc.channel, local: i}
+	}
+	dst := c.channels[to]
+	sel, err := c.newSelector(dst)
+	if err != nil {
+		return fmt.Errorf("cluster: join channel %q: %w", dst.name, err)
+	}
+	local, err := dst.sys.AddPeer(sel, dst.bitrate)
+	if err != nil {
+		return fmt.Errorf("cluster: join channel %q: %w", dst.name, err)
+	}
+	buf, err := streaming.NewBuffer(dst.bitrate, c.startup)
+	if err != nil {
+		return fmt.Errorf("cluster: join channel %q: %w", dst.name, err)
+	}
+	dst.peerIDs = append(dst.peerIDs, id)
+	dst.bufs = append(dst.bufs, buf)
+	c.byPeer[id] = location{channel: to, local: local}
+	return nil
+}

@@ -134,6 +134,13 @@ type Config struct {
 	// values consume different RNG streams and therefore realize different
 	// (statistically equivalent) trajectories.
 	Workers int
+	// UtilityScale overrides the utility normalization constant (by default
+	// the maximum level across the configured helpers). Systems that
+	// exchange helpers at runtime — the multi-channel cluster — set one
+	// shared scale so a helper migrating in via AddHelper never exceeds the
+	// receiving system's normalization. Must be at least the largest
+	// configured level; 0 selects the default.
+	UtilityScale float64
 }
 
 type helper struct {
@@ -273,6 +280,9 @@ func New(cfg Config) (*System, error) {
 	if factory == nil {
 		factory = RTHSFactory()
 	}
+	if cfg.UtilityScale < 0 {
+		return nil, fmt.Errorf("core: UtilityScale=%g", cfg.UtilityScale)
+	}
 	rng := xrand.New(cfg.Seed)
 	s := &System{rng: rng}
 
@@ -288,6 +298,12 @@ func New(cfg Config) (*System, error) {
 				scale = lv
 			}
 		}
+	}
+	if cfg.UtilityScale > 0 {
+		if cfg.UtilityScale < scale {
+			return nil, fmt.Errorf("core: UtilityScale %g below largest level %g", cfg.UtilityScale, scale)
+		}
+		scale = cfg.UtilityScale
 	}
 	s.scale = scale
 

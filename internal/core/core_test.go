@@ -41,6 +41,34 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+func TestUtilityScaleOverride(t *testing.T) {
+	cfg := defaultConfig(2, 2, 1)
+	cfg.UtilityScale = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative utility scale accepted")
+	}
+	cfg.UtilityScale = 100 // below the 900 kbps default top level
+	if _, err := New(cfg); err == nil {
+		t.Fatal("utility scale below largest level accepted")
+	}
+	cfg.UtilityScale = 1500
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.UtilityScale(); got != 1500 {
+		t.Fatalf("UtilityScale() = %g, want 1500", got)
+	}
+	// A helper whose levels exceed the local pool's maximum but not the
+	// shared override joins fine — the cluster's migration contract.
+	if err := s.AddHelper(HelperSpec{Levels: []float64{1200}}); err != nil {
+		t.Fatalf("AddHelper under shared scale: %v", err)
+	}
+	if err := s.Run(10, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestStageResultInvariants(t *testing.T) {
 	s, err := New(defaultConfig(10, 4, 42))
 	if err != nil {

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rths/internal/cluster"
+	"rths/internal/core"
+)
+
+// ClusterScenario parameterizes the multi-channel cluster presets: Zipf
+// initial audiences, Markov channel-switching viewers, and one flash-crowd
+// event aimed at an unpopular channel.
+type ClusterScenario struct {
+	Channels   int
+	TotalPeers int
+	Helpers    int
+	// HelperLevels overrides the helper bandwidth levels (nil selects
+	// core.DefaultLevels). Scale presets use fewer, edge-server-class
+	// helpers rather than thousands of 800 kbps boxes: per-channel pools
+	// stay small, so the learners' m×m proxy matrices stay small too.
+	HelperLevels []float64
+	// Hysteresis damps re-allocation: helpers migrate only when the
+	// proposal improves the max deficit by more than this many kbps.
+	Hysteresis float64
+	ZipfS      float64
+	Bitrate    float64
+	// EpochStages is the re-allocation period; Epochs the run length.
+	EpochStages, Epochs int
+	// SwitchProb is the per-stage viewer zap probability (0 disables).
+	SwitchProb float64
+	// FlashStage/FlashChannel/FlashPeers schedule the flash crowd
+	// (FlashPeers = 0 disables).
+	FlashStage, FlashChannel, FlashPeers int
+	Allocator                            cluster.AllocatorKind
+	Workers                              int
+	Seed                                 uint64
+}
+
+// ClusterScale is the tentpole's acceptance shape: 100 channels, 10k
+// viewers split by a Zipf(0.8) popularity law, Markov channel switching,
+// and a mid-run flash crowd on a cold channel. The pool is provisioned at
+// roughly one helper per 2.5 viewers (expected 800 kbps serving ~2.7
+// viewers at 300 kbps), so demand and supply are close enough that the
+// flash crowd genuinely forces cross-channel re-allocation — a massively
+// oversubscribed pool has no move that lowers the max deficit.
+func ClusterScale() ClusterScenario {
+	return ClusterScenario{
+		Channels:   100,
+		TotalPeers: 10000,
+		// 400 edge-class helpers at ~8 Mbps supply ≈ 3.2 Gbps against the
+		// 3 Gbps aggregate demand: balanced enough that the flash crowd
+		// genuinely forces cross-channel re-allocation (a massively
+		// oversubscribed pool has no move that lowers the max deficit).
+		Helpers:      400,
+		HelperLevels: []float64{7000, 8000, 9000},
+		Hysteresis:   4000, // half a helper of slack before migrating
+		ZipfS:        0.8,
+		Bitrate:      300,
+		EpochStages:  25,
+		Epochs:       8,
+		SwitchProb:   0.02,
+		FlashStage:   60,
+		FlashChannel: 90,
+		FlashPeers:   500,
+		Allocator:    cluster.AllocGreedy,
+		Workers:      4,
+		Seed:         1,
+	}
+}
+
+// ClusterSmall is a laptop-scale variant of ClusterScale for quick smoke
+// runs: 8 channels, 240 viewers, 90 paper-default helpers (≈ balanced at
+// 300 kbps per viewer).
+func ClusterSmall() ClusterScenario {
+	s := ClusterScale()
+	s.Channels = 8
+	s.TotalPeers = 240
+	s.Helpers = 90
+	s.HelperLevels = nil // paper-default 700–900 kbps helpers
+	s.Hysteresis = 400
+	s.EpochStages = 20
+	s.Epochs = 5
+	s.FlashStage = 30
+	s.FlashChannel = 6
+	s.FlashPeers = 60
+	s.Workers = 0
+	return s
+}
+
+// Build assembles the cluster config for the scenario.
+func (s ClusterScenario) Build() (cluster.Config, error) {
+	specs, err := cluster.ZipfChannels(s.Channels, s.TotalPeers, s.ZipfS, s.Bitrate)
+	if err != nil {
+		return cluster.Config{}, fmt.Errorf("experiment: cluster scenario: %w", err)
+	}
+	helper := core.DefaultHelperSpec()
+	if len(s.HelperLevels) > 0 {
+		helper = core.HelperSpec{
+			Levels:     append([]float64(nil), s.HelperLevels...),
+			SwitchProb: core.DefaultSwitchProb,
+			InitState:  -1,
+		}
+	}
+	cfg := cluster.Config{
+		Channels:    specs,
+		Helpers:     cluster.UniformHelpers(s.Helpers, helper),
+		Allocator:   s.Allocator,
+		EpochStages: s.EpochStages,
+		Hysteresis:  s.Hysteresis,
+		Workers:     s.Workers,
+		Seed:        s.Seed,
+	}
+	if s.SwitchProb > 0 {
+		cfg.Switching = &cluster.SwitchingConfig{SwitchProb: s.SwitchProb, ZipfS: s.ZipfS}
+	}
+	if s.FlashPeers > 0 {
+		cfg.Flash = []cluster.FlashCrowd{{Stage: s.FlashStage, Channel: s.FlashChannel, Peers: s.FlashPeers}}
+	}
+	return cfg, nil
+}
+
+// New builds the running cluster for the scenario.
+func (s ClusterScenario) New() (*cluster.Cluster, error) {
+	cfg, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cfg)
+}

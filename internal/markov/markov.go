@@ -192,6 +192,56 @@ func Sticky(n int, switchProb float64) (*Chain, error) {
 	return New(m)
 }
 
+// StickyWeighted builds a sticky chain whose off-diagonal mass follows the
+// given weights: with probability 1-switchProb the state repeats; otherwise
+// it jumps to another state j ≠ i with probability proportional to
+// weights[j]. It is the channel-switching model of the multi-channel
+// cluster: viewers mostly stay put, and when they zap they land on popular
+// (e.g. Zipf-weighted) channels. Weights must be non-negative with at least
+// two positive entries (otherwise there is nowhere to switch to); a state
+// whose alternatives all have zero weight keeps its stickiness mass.
+func StickyWeighted(weights []float64, switchProb float64) (*Chain, error) {
+	n := len(weights)
+	if n < 2 {
+		return nil, fmt.Errorf("markov: StickyWeighted with %d states", n)
+	}
+	if switchProb <= 0 || switchProb >= 1 {
+		return nil, fmt.Errorf("markov: StickyWeighted switchProb=%g outside (0,1)", switchProb)
+	}
+	total := 0.0
+	positive := 0
+	for j, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("markov: StickyWeighted weight[%d]=%g", j, w)
+		}
+		if w > 0 {
+			positive++
+		}
+		total += w
+	}
+	if positive < 2 {
+		return nil, fmt.Errorf("markov: StickyWeighted needs >= 2 positive weights, got %d", positive)
+	}
+	m := mat.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		rest := total - weights[i]
+		if rest <= 0 {
+			// No positively weighted alternative: absorb the switch mass
+			// into the diagonal so the row stays stochastic.
+			m.Set(i, i, 1)
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				m.Set(i, j, 1-switchProb)
+			} else {
+				m.Set(i, j, switchProb*weights[j]/rest)
+			}
+		}
+	}
+	return New(m)
+}
+
 // BirthDeath builds a birth-death chain over n states with up/down
 // probabilities p and q at interior states (reflecting at the ends). Used
 // for smoother bandwidth drift than the uniform sticky chain.

@@ -167,6 +167,67 @@ func TestStickySingleState(t *testing.T) {
 	}
 }
 
+func TestStickyWeightedProperties(t *testing.T) {
+	// Zipf-ish weights: switching mass must land proportionally to the
+	// target's weight among the alternatives.
+	w := []float64{4, 2, 1, 1}
+	c, err := StickyWeighted(w, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Transition(1, 1); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("self-loop = %g, want 0.8", got)
+	}
+	// From state 1 the alternatives weigh 4+1+1=6.
+	if got := c.Transition(1, 0); math.Abs(got-0.2*4/6) > 1e-12 {
+		t.Fatalf("P(1->0) = %g, want %g", got, 0.2*4/6)
+	}
+	if got := c.Transition(1, 2); math.Abs(got-0.2*1/6) > 1e-12 {
+		t.Fatalf("P(1->2) = %g, want %g", got, 0.2*1/6)
+	}
+	// Popular states must hold more stationary mass than unpopular ones.
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pi[0] > pi[1] && pi[1] > pi[2]) {
+		t.Fatalf("stationary not popularity-ordered: %v", pi)
+	}
+}
+
+func TestStickyWeightedZeroWeightState(t *testing.T) {
+	// A zero-weight state is never switched *to*, but switching *from* it
+	// still works; a state with no positive alternatives self-loops.
+	c, err := StickyWeighted([]float64{3, 0, 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Transition(0, 1); got != 0 {
+		t.Fatalf("P(0->1) = %g, want 0", got)
+	}
+	if got := c.Transition(1, 0); math.Abs(got-0.5*3/4) > 1e-12 {
+		t.Fatalf("P(1->0) = %g", got)
+	}
+}
+
+func TestStickyWeightedValidation(t *testing.T) {
+	if _, err := StickyWeighted([]float64{1}, 0.5); err == nil {
+		t.Fatal("single state accepted")
+	}
+	if _, err := StickyWeighted([]float64{1, 2}, 0); err == nil {
+		t.Fatal("switchProb=0 accepted")
+	}
+	if _, err := StickyWeighted([]float64{1, 2}, 1); err == nil {
+		t.Fatal("switchProb=1 accepted")
+	}
+	if _, err := StickyWeighted([]float64{1, -1}, 0.5); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := StickyWeighted([]float64{1, 0, 0}, 0.5); err == nil {
+		t.Fatal("single positive weight accepted")
+	}
+}
+
 func TestBirthDeath(t *testing.T) {
 	c, err := BirthDeath(3, 0.2, 0.1)
 	if err != nil {

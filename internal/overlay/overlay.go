@@ -193,7 +193,22 @@ func (m *Multi) Apply(e trace.Event) error {
 	}
 }
 
-// Step advances every channel one stage and aggregates.
+// Totals is the aggregate-only view of one stage: the per-channel sums
+// without the cloned per-peer detail. StepTotals fills one without
+// allocating, which is what long replays over many channels want.
+type Totals struct {
+	Welfare    float64
+	OptWelfare float64
+	ServerLoad float64
+	MinDeficit float64
+	// ActivePeers is the number of peers across all channels.
+	ActivePeers int
+}
+
+// Step advances every channel one stage and aggregates. Each channel's
+// result is deep-copied into the StepResult, so it is safe to retain —
+// and costs O(peers) allocations per channel per stage. Replays that only
+// need the aggregate series should use StepTotals instead.
 func (m *Multi) Step() (StepResult, error) {
 	out := StepResult{ActivePeers: len(m.byPeer)}
 	for _, st := range m.channels {
@@ -216,6 +231,26 @@ func (m *Multi) Step() (StepResult, error) {
 	return out, nil
 }
 
+// StepTotals advances every channel one stage and returns only the
+// aggregate sums. It allocates nothing in steady state (pinned by
+// TestStepTotalsZeroAllocs): the per-channel StageResults alias each
+// system's reusable buffers and are reduced in channel order without
+// cloning, so the totals are bit-identical to Step's.
+func (m *Multi) StepTotals() (Totals, error) {
+	out := Totals{ActivePeers: len(m.byPeer)}
+	for _, st := range m.channels {
+		res, err := st.sys.Step()
+		if err != nil {
+			return Totals{}, fmt.Errorf("overlay: channel %q: %w", st.name, err)
+		}
+		out.Welfare += res.Welfare
+		out.OptWelfare += res.OptWelfare
+		out.ServerLoad += res.ServerLoad
+		out.MinDeficit += res.MinDeficit
+	}
+	return out, nil
+}
+
 // Replay runs the workload to its horizon, applying each stage's events
 // before stepping, and invoking observe (if non-nil) per stage.
 func (m *Multi) Replay(w *trace.Workload, horizon int, observe func(StepResult)) error {
@@ -227,6 +262,29 @@ func (m *Multi) Replay(w *trace.Workload, horizon int, observe func(StepResult))
 			}
 		}
 		res, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if observe != nil {
+			observe(res)
+		}
+	}
+	return nil
+}
+
+// ReplayTotals is Replay on the aggregate-only path: per-stage cost is the
+// channels' own stepping plus O(1) reduction, with no per-channel cloning.
+// Event application still allocates (joins grow learner state); stages
+// without churn allocate nothing.
+func (m *Multi) ReplayTotals(w *trace.Workload, horizon int, observe func(Totals)) error {
+	perStage := w.PerStage(horizon)
+	for s := 0; s < horizon; s++ {
+		for _, e := range perStage[s] {
+			if err := m.Apply(e); err != nil {
+				return fmt.Errorf("overlay: stage %d event %+v: %w", s, e, err)
+			}
+		}
+		res, err := m.StepTotals()
 		if err != nil {
 			return err
 		}

@@ -197,6 +197,107 @@ func TestReplayWorkload(t *testing.T) {
 	}
 }
 
+// TestStepTotalsMatchesStep pins the aggregate-only path to the full path:
+// the same seed must produce bit-identical totals on two fresh systems.
+func TestStepTotalsMatchesStep(t *testing.T) {
+	full, err := New(twoChannelConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := New(twoChannelConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 200; s++ {
+		fr, err := full.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar, err := agg.StepTotals()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.TotalWelfare != ar.Welfare ||
+			fr.TotalOptWelfare != ar.OptWelfare ||
+			fr.TotalServerLoad != ar.ServerLoad ||
+			fr.TotalMinDeficit != ar.MinDeficit ||
+			fr.ActivePeers != ar.ActivePeers {
+			t.Fatalf("stage %d: totals diverge: %+v vs %+v", s, fr, ar)
+		}
+	}
+}
+
+// TestStepTotalsZeroAllocs pins the satellite requirement: replaying many
+// channels on the aggregate path must not allocate per stage.
+func TestStepTotalsZeroAllocs(t *testing.T) {
+	m, err := New(twoChannelConfig(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past any lazy growth.
+	for s := 0; s < 8; s++ {
+		if _, err := m.StepTotals(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.StepTotals(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("StepTotals allocates %g objects per stage, want 0", allocs)
+	}
+}
+
+func TestReplayTotalsMatchesReplay(t *testing.T) {
+	cfg := Config{
+		Channels: []ChannelConfig{
+			{Name: "a", Bitrate: 300, Helpers: []core.HelperSpec{core.DefaultHelperSpec(), core.DefaultHelperSpec()}},
+			{Name: "b", Bitrate: 300, Helpers: []core.HelperSpec{core.DefaultHelperSpec()}},
+		},
+		Seed: 41,
+	}
+	w, err := trace.GenerateChurn(trace.ChurnConfig{
+		Horizon:      200,
+		ArrivalRate:  0.2,
+		MeanLifetime: 50,
+		Channels:     2,
+		ZipfS:        0.8,
+		SwitchRate:   0.01,
+		Seed:         6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullWelfare []float64
+	if err := full.Replay(w, 200, func(res StepResult) {
+		fullWelfare = append(fullWelfare, res.TotalWelfare)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 0
+	if err := agg.ReplayTotals(w, 200, func(tot Totals) {
+		if tot.Welfare != fullWelfare[s] {
+			t.Fatalf("stage %d welfare %g vs %g", s, tot.Welfare, fullWelfare[s])
+		}
+		s++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s != 200 {
+		t.Fatalf("observed %d stages", s)
+	}
+}
+
 func TestApplyUnknownEvent(t *testing.T) {
 	m, err := New(twoChannelConfig(29))
 	if err != nil {

@@ -31,6 +31,7 @@ package rths
 
 import (
 	"rths/internal/alloc"
+	"rths/internal/cluster"
 	"rths/internal/core"
 	"rths/internal/experiment"
 	"rths/internal/metrics"
@@ -103,6 +104,8 @@ type (
 	EpochStats = netsim.EpochStats
 	// ChannelDemand is one channel's aggregate demand for helper allocation.
 	ChannelDemand = alloc.Channel
+	// MultiChannelTotals is the overlay's allocation-free aggregate view.
+	MultiChannelTotals = overlay.Totals
 	// ChurnConfig parameterizes workload generation.
 	ChurnConfig = trace.ChurnConfig
 	// Workload is a replayable churn trace.
@@ -138,8 +141,60 @@ func DefaultLearnerConfig(numActions int, utilityScale float64) LearnerConfig {
 	return regret.Defaults(numActions, utilityScale)
 }
 
+// Cluster runtime types (the sharded multi-channel engine with helper
+// re-allocation epochs).
+type (
+	// ClusterConfig configures the multi-channel cluster runtime.
+	ClusterConfig = cluster.Config
+	// Cluster is the running cluster: channels step in parallel on a
+	// worker pool and helpers migrate between channels at epoch
+	// boundaries. Results are bit-identical for every Workers value.
+	Cluster = cluster.Cluster
+	// ClusterChannelSpec describes one cluster channel.
+	ClusterChannelSpec = cluster.ChannelSpec
+	// ClusterEpochMetrics is the per-epoch observable record.
+	ClusterEpochMetrics = cluster.EpochMetrics
+	// ClusterSwitching enables Markov channel-switching viewers.
+	ClusterSwitching = cluster.SwitchingConfig
+	// ClusterFlashCrowd schedules a flash-crowd event.
+	ClusterFlashCrowd = cluster.FlashCrowd
+	// ClusterAllocator selects the re-allocation policy.
+	ClusterAllocator = cluster.AllocatorKind
+	// ClusterScenario parameterizes the cluster presets.
+	ClusterScenario = experiment.ClusterScenario
+)
+
+// Cluster allocator kinds.
+const (
+	ClusterAllocGreedy       = cluster.AllocGreedy
+	ClusterAllocProportional = cluster.AllocProportional
+	ClusterAllocStatic       = cluster.AllocStatic
+)
+
 // NewMultiChannel builds a multi-channel overlay system.
 func NewMultiChannel(cfg MultiChannelConfig) (*MultiChannel, error) { return overlay.New(cfg) }
+
+// NewCluster builds the sharded multi-channel cluster runtime.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ZipfChannels builds channel specs whose audiences split totalPeers by a
+// Zipf popularity law.
+func ZipfChannels(channels, totalPeers int, zipfS, bitrate float64) ([]ClusterChannelSpec, error) {
+	return cluster.ZipfChannels(channels, totalPeers, zipfS, bitrate)
+}
+
+// UniformHelpers replicates one helper spec n times (a homogeneous pool).
+func UniformHelpers(n int, spec HelperSpec) []HelperSpec {
+	return cluster.UniformHelpers(n, spec)
+}
+
+// ClusterScale is the acceptance-scale cluster scenario (100 channels,
+// 10k viewers, 150 shared helpers, Zipf audiences, Markov switching, flash
+// crowd).
+func ClusterScale() ClusterScenario { return experiment.ClusterScale() }
+
+// ClusterSmall is the laptop-scale cluster smoke scenario.
+func ClusterSmall() ClusterScenario { return experiment.ClusterSmall() }
 
 // NewDistributed builds the goroutine-per-node message-passing runtime.
 func NewDistributed(cfg DistributedConfig) (*Distributed, error) { return netsim.New(cfg) }
