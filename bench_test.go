@@ -180,9 +180,9 @@ func BenchmarkAblationPaperExactRecursion(b *testing.B) {
 	b.ReportMetric(paperExact, "paper_exact_welfare_frac")
 }
 
-// BenchmarkDistributedRuntime times the goroutine-per-node protocol end to
-// end — the concurrency cost of the message-passing implementation versus
-// the sequential simulator (BenchmarkSequentialSystem).
+// BenchmarkDistributedRuntime times the batched message-passing protocol
+// end to end — the concurrency cost of the distributed implementation
+// versus the sequential simulator (BenchmarkSequentialSystem).
 func BenchmarkDistributedRuntime(b *testing.B) {
 	specs := make([]rths.HelperSpec, 4)
 	for j := range specs {

@@ -43,6 +43,7 @@ type Report struct {
 	Stages     int              `json:"stages_per_scenario"`
 	Scenarios  []ScenarioResult `json:"scenarios"`
 	Cluster    []ClusterResult  `json:"cluster"`
+	Distsim    []ScenarioResult `json:"distsim"`
 	Learner    []LearnerResult  `json:"learner_update"`
 }
 
@@ -155,16 +156,22 @@ type clusterSpec struct {
 	peers    int
 	helpers  int
 	workers  int
+	backend  rths.ClusterBackend
 }
 
 func defaultClusterScenarios(full bool) []clusterSpec {
 	specs := []clusterSpec{
-		{"cluster-small-seq", 8, 240, 16, 0},
-		{"cluster-mid-seq", 20, 1000, 40, 0},
-		{"cluster-mid-workers4", 20, 1000, 40, 4},
+		{"cluster-small-seq", 8, 240, 16, 0, rths.ClusterBackendMemory},
+		{"cluster-mid-seq", 20, 1000, 40, 0, rths.ClusterBackendMemory},
+		{"cluster-mid-workers4", 20, 1000, 40, 4, rths.ClusterBackendMemory},
+		// The distsim acceptance pair: the same 4-channel, N=1k deployment
+		// on the shared-memory backend and on the batched message-passing
+		// runtime. The distsim row must stay within ~5x of the memory row.
+		{"cluster-4ch-seq", 4, 1000, 16, 0, rths.ClusterBackendMemory},
+		{"cluster-4ch-distsim", 4, 1000, 16, 0, rths.ClusterBackendDistsim},
 	}
 	if full {
-		specs = append(specs, clusterSpec{"cluster-scale-workers4", 100, 10000, 150, 4})
+		specs = append(specs, clusterSpec{"cluster-scale-workers4", 100, 10000, 150, 4, rths.ClusterBackendMemory})
 	}
 	return specs
 }
@@ -175,6 +182,7 @@ func defaultClusterScenarios(full bool) []clusterSpec {
 func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
 	sc := rths.ClusterSmall()
 	sc.Channels, sc.TotalPeers, sc.Helpers, sc.Workers = spec.channels, spec.peers, spec.helpers, spec.workers
+	sc.Backend = spec.backend
 	sc.EpochStages = 25
 	sc.FlashPeers = 0
 	cfg, err := sc.Build()
@@ -185,6 +193,7 @@ func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
 	if err != nil {
 		return ClusterResult{}, fmt.Errorf("%s: %w", spec.name, err)
 	}
+	defer c.Close()
 	if _, err := c.RunEpoch(); err != nil { // warmup epoch
 		return ClusterResult{}, fmt.Errorf("%s warmup: %w", spec.name, err)
 	}
@@ -206,6 +215,56 @@ func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
 		NsPerStage:       ns,
 		StagesPerSec:     1e9 / ns,
 		PeerStagesPerSec: 1e9 / ns * float64(spec.peers),
+	}, nil
+}
+
+// measureDistsim runs `stages` steady-state rounds of the batched
+// message-passing runtime on a single-channel deployment shaped exactly
+// like the mid-seq stage-engine scenario, so the two rows compare
+// directly: the distsim ns/stage must stay within ~5x of mid-seq's (the
+// acceptance bound the batching earns — the per-peer-send runtime it
+// replaced was orders of magnitude off).
+func measureDistsim(name string, peers, helpers, stages int) (ScenarioResult, error) {
+	specs := make([]rths.HelperSpec, helpers)
+	for j := range specs {
+		specs[j] = rths.DefaultHelperSpec()
+	}
+	rt, err := rths.NewDistsim(rths.DistsimConfig{
+		Channels: []rths.DistsimChannelConfig{{Name: name, Seed: 1, InitialPeers: peers}},
+		Helpers:  specs,
+		Assign:   make([]int, helpers),
+	})
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	defer rt.Close()
+	for k := 0; k < 8; k++ { // warmup (includes node spawn)
+		if _, err := rt.StepRound(); err != nil {
+			return ScenarioResult{}, fmt.Errorf("%s warmup: %w", name, err)
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for k := 0; k < stages; k++ {
+		if _, err := rt.StepRound(); err != nil {
+			return ScenarioResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / float64(stages)
+	return ScenarioResult{
+		Name:             name,
+		Peers:            peers,
+		Helpers:          helpers,
+		Stages:           stages,
+		NsPerStage:       ns,
+		StagesPerSec:     1e9 / ns,
+		PeerStagesPerSec: 1e9 / ns * float64(peers),
+		AllocsPerStage:   float64(after.Mallocs-before.Mallocs) / float64(stages),
+		BytesPerStage:    float64(after.TotalAlloc-before.TotalAlloc) / float64(stages),
 	}, nil
 }
 
@@ -280,6 +339,14 @@ func buildReport(stages, repeat int, full bool) (*Report, error) {
 			rep.Cluster = keepFastest(rep.Cluster, round, i, res,
 				func(a, b ClusterResult) bool { return a.NsPerStage < b.NsPerStage })
 		}
+		{
+			res, err := measureDistsim("distsim-1ch-1k", 1000, 16, stages)
+			if err != nil {
+				return nil, err
+			}
+			rep.Distsim = keepFastest(rep.Distsim, round, 0, res,
+				func(a, b ScenarioResult) bool { return a.NsPerStage < b.NsPerStage })
+		}
 		for i, m := range learnerMs {
 			res, err := measureLearner(m, learnerIters)
 			if err != nil {
@@ -349,6 +416,9 @@ func compareReports(fresh, baseline *Report, tolerance float64) []string {
 			if s.Workers == 0 {
 				out[s.Name] = s.PeerStagesPerSec
 			}
+		}
+		for _, s := range rep.Distsim {
+			out[s.Name] = s.PeerStagesPerSec
 		}
 		return out
 	}
@@ -420,6 +490,10 @@ func main() {
 	for _, s := range rep.Cluster {
 		fmt.Printf("%-22s C=%-4d N=%-6d H=%-3d W=%-2d  %10.0f ns/stage  %10.0f peer-stages/sec\n",
 			s.Name, s.Channels, s.Peers, s.Helpers, s.Workers, s.NsPerStage, s.PeerStagesPerSec)
+	}
+	for _, s := range rep.Distsim {
+		fmt.Printf("%-22s N=%-6d H=%-3d        %14.0f ns/stage  %10.0f peer-stages/sec  %6.2f allocs/stage\n",
+			s.Name, s.Peers, s.Helpers, s.NsPerStage, s.PeerStagesPerSec, s.AllocsPerStage)
 	}
 	for _, l := range rep.Learner {
 		fmt.Printf("learner m=%-4d  %8.1f ns/update  %6.2f allocs/update\n", l.M, l.NsPerOp, l.AllocsPerOp)

@@ -82,6 +82,41 @@ func TestBuildAndWriteReport(t *testing.T) {
 			t.Fatalf("%s: non-positive cluster throughput %+v", s.Name, s)
 		}
 	}
+	// The distsim acceptance pair and the 1-channel distsim row must be
+	// measured (the 5x-of-sequential bound itself is policed by the
+	// committed baseline + gate, not a noisy unit-test timing).
+	if len(parsed.Distsim) != len(rep.Distsim) || len(rep.Distsim) == 0 {
+		t.Fatalf("distsim rows lost in round trip: %d vs %d", len(parsed.Distsim), len(rep.Distsim))
+	}
+	for _, s := range rep.Distsim {
+		if s.StagesPerSec <= 0 || s.PeerStagesPerSec <= 0 {
+			t.Fatalf("%s: non-positive distsim throughput %+v", s.Name, s)
+		}
+	}
+	names := make(map[string]bool)
+	for _, s := range rep.Cluster {
+		names[s.Name] = true
+	}
+	if !names["cluster-4ch-seq"] || !names["cluster-4ch-distsim"] {
+		t.Fatalf("cluster rows missing the distsim acceptance pair: %v", names)
+	}
+}
+
+// The gate must cover distsim rows: a regression specific to the batched
+// runtime trips it even when every shared-memory row holds.
+func TestCompareReportsGatesDistsim(t *testing.T) {
+	base := &Report{
+		Scenarios: []ScenarioResult{{Name: "mid-seq", PeerStagesPerSec: 1000}},
+		Distsim:   []ScenarioResult{{Name: "distsim-1ch-1k", PeerStagesPerSec: 500}},
+	}
+	fresh := &Report{
+		Scenarios: []ScenarioResult{{Name: "mid-seq", PeerStagesPerSec: 1000}},
+		Distsim:   []ScenarioResult{{Name: "distsim-1ch-1k", PeerStagesPerSec: 200}},
+	}
+	fails := compareReports(fresh, base, 0.20)
+	if len(fails) != 1 || !strings.Contains(fails[0], "distsim-1ch-1k") {
+		t.Fatalf("distsim regression not gated: %v", fails)
+	}
 }
 
 // The regression gate compares like-named sequential scenarios after

@@ -8,9 +8,13 @@
 //	rths-cluster -preset small
 //	rths-cluster -preset scale -workers 4 -epochs 8
 //	rths-cluster -channels 20 -peers 2000 -helpers 40 -alloc greedy
+//	rths-cluster -preset small -backend distsim
 //
 // A fixed (-seed) run is bit-reproducible for every -workers value: the
-// parallelism is across channels, which never share a random stream.
+// parallelism is across channels, which never share a random stream. With
+// -backend distsim the same scenario runs on the batched message-passing
+// runtime (one node per channel manager and per helper) and emits the
+// same metrics bit-for-bit.
 package main
 
 import (
@@ -43,6 +47,17 @@ func parseAllocator(name string) (rths.ClusterAllocator, error) {
 	}
 }
 
+func parseBackend(name string) (rths.ClusterBackend, error) {
+	switch name {
+	case "memory":
+		return rths.ClusterBackendMemory, nil
+	case "distsim":
+		return rths.ClusterBackendDistsim, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (memory, distsim)", name)
+	}
+}
+
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("rths-cluster", flag.ContinueOnError)
 	fs.SetOutput(errOut)
@@ -57,6 +72,7 @@ func run(args []string, out, errOut io.Writer) error {
 	switchProb := fs.Float64("switch-prob", -1, "override per-stage viewer zap probability (0 disables)")
 	flashPeers := fs.Int("flash-peers", -1, "override flash-crowd size (0 disables)")
 	allocName := fs.String("alloc", "", "allocator: greedy, proportional or static")
+	backendName := fs.String("backend", "", "execution backend: memory or distsim")
 	workers := fs.Int("workers", -1, "override channel-stepping worker count")
 	seed := fs.Uint64("seed", 0, "override seed (0 keeps the preset's)")
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +122,13 @@ func run(args []string, out, errOut io.Writer) error {
 		}
 		sc.Allocator = kind
 	}
+	if *backendName != "" {
+		kind, err := parseBackend(*backendName)
+		if err != nil {
+			return err
+		}
+		sc.Backend = kind
+	}
 	if *workers >= 0 {
 		sc.Workers = *workers
 	}
@@ -121,6 +144,7 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer c.Close()
 	enc := json.NewEncoder(out)
 	var encErr error
 	var moves, switches, joins int
@@ -140,8 +164,8 @@ func run(args []string, out, errOut io.Writer) error {
 		return encErr
 	}
 	fmt.Fprintf(errOut,
-		"cluster: %d channels × %d viewers, %d helpers, alloc=%v workers=%d | %d epochs × %d stages | moves=%d switches=%d joins=%d | final welfare_ratio=%.4f continuity=%.4f max_deficit=%.0f kbps\n",
-		c.NumChannels(), c.ActivePeers(), c.NumHelpers(), sc.Allocator, sc.Workers,
+		"cluster: %d channels × %d viewers, %d helpers, alloc=%v backend=%v workers=%d | %d epochs × %d stages | moves=%d switches=%d joins=%d | final welfare_ratio=%.4f continuity=%.4f max_deficit=%.0f kbps\n",
+		c.NumChannels(), c.ActivePeers(), c.NumHelpers(), sc.Allocator, sc.Backend, sc.Workers,
 		c.Epoch(), sc.EpochStages, moves, switches, joins, lastRatio, lastContinuity, lastMaxDef)
 	return nil
 }

@@ -49,6 +49,23 @@ func TestRunWorkersReproducible(t *testing.T) {
 	}
 }
 
+// TestRunBackendsBitIdentical is the CLI face of the acceptance criterion:
+// the batched message-passing backend must emit exactly the JSON the
+// shared-memory backend emits for the same preset (zero latency/drop).
+func TestRunBackendsBitIdentical(t *testing.T) {
+	emit := func(backend string) string {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-preset", "small", "-epochs", "2", "-backend", backend}, &out, &errOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if mem, dist := emit("memory"), emit("distsim"); mem != dist {
+		t.Fatalf("backend changed the metrics:\n%s\nvs\n%s", mem, dist)
+	}
+}
+
 func TestRunAllocators(t *testing.T) {
 	for _, name := range []string{"greedy", "proportional", "static"} {
 		var out, errOut bytes.Buffer
@@ -66,5 +83,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-alloc", "psychic"}, &out, &errOut); err == nil {
 		t.Fatal("unknown allocator accepted")
+	}
+	if err := run([]string{"-backend", "quantum"}, &out, &errOut); err == nil {
+		t.Fatal("unknown backend accepted")
 	}
 }

@@ -1,7 +1,9 @@
 // Distributed: the same learning dynamics, but as a real message-passing
-// system — every peer and helper is a goroutine and the only thing a peer
-// ever learns is its own rate (the paper's zero-knowledge property, made
-// structural). Output should match the sequential simulator's quality.
+// system — every helper is its own node with a batched per-round inbox, a
+// channel-manager node hosts the peers, and the only thing a peer's policy
+// ever learns is its own rate (the paper's zero-knowledge property,
+// enforced by the bandit feedback). Output should match the sequential
+// simulator's quality.
 package main
 
 import (
@@ -45,7 +47,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n%d peer goroutines + %d helper goroutines, %d epochs\n", peers, helpers, epochs)
-	fmt.Printf("tail welfare: %.1f%% of optimum — no peer ever saw another's state\n",
+	fmt.Printf("\n%d peers on a manager node + %d helper nodes, %d epochs, O(helpers) messages/round\n",
+		peers, helpers, epochs)
+	fmt.Printf("tail welfare: %.1f%% of optimum — no peer's policy ever saw another's state\n",
 		100*tailWelfare/tailOptimum)
 }

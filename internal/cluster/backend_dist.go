@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"rths/internal/core"
+	"rths/internal/distsim"
+)
+
+// distBackend executes the channels on the batched message-passing runtime:
+// every channel is a manager node, every helper its own node, and a stage
+// is one protocol round. Membership and migration calls enqueue ops that
+// the managers apply — in call order — at the start of the next round,
+// which is exactly when the shared-memory backend's effects first become
+// observable too, so the two backends stay in lockstep: at zero link
+// latency/drop the per-epoch metrics are bit-identical (pinned by
+// TestDistsimBackendBitIdentical).
+type distBackend struct {
+	rt *distsim.Runtime
+}
+
+func newDistBackend(cfg Config, assign []int, seeds []uint64, scale, startup float64) (*distBackend, error) {
+	channels := make([]distsim.ChannelConfig, len(cfg.Channels))
+	for ci, spec := range cfg.Channels {
+		channels[ci] = distsim.ChannelConfig{
+			Name:          spec.Name,
+			Seed:          seeds[ci],
+			InitialPeers:  spec.InitialPeers,
+			DemandPerPeer: spec.Bitrate,
+			StartupStages: startup,
+		}
+	}
+	rt, err := distsim.New(distsim.Config{
+		Channels:     channels,
+		Helpers:      cfg.Helpers,
+		Assign:       append([]int(nil), assign...),
+		Factory:      cfg.Factory,
+		UtilityScale: scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &distBackend{rt: rt}, nil
+}
+
+func (b *distBackend) addPeer(ci int) error { return b.rt.AddPeer(ci) }
+
+func (b *distBackend) removePeer(ci, local int) error { return b.rt.RemovePeer(ci, local) }
+
+func (b *distBackend) addHelper(ci, id int, spec core.HelperSpec) error {
+	return b.rt.AddHelper(ci, id, spec)
+}
+
+func (b *distBackend) removeHelper(ci, local, id int) error {
+	return b.rt.RemoveHelper(ci, local, id)
+}
+
+func (b *distBackend) step(out []stageData) error {
+	stats, err := b.rt.StepRound()
+	if err != nil {
+		return err
+	}
+	for ci := range out {
+		ch := &stats.Channels[ci]
+		out[ci] = stageData{
+			welfare:    ch.Welfare,
+			opt:        ch.OptWelfare,
+			serverLoad: ch.ServerLoad,
+			minDeficit: ch.MinDeficit,
+			played:     ch.Played,
+			stalled:    ch.Stalled,
+		}
+	}
+	return nil
+}
+
+func (b *distBackend) close() error { return b.rt.Close() }
+
+var _ backend = (*distBackend)(nil)

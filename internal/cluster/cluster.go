@@ -9,20 +9,23 @@
 // into one engine with two loops:
 //
 //   - The stage loop steps every channel. Channels are independent systems
-//     with private RNG streams, so they step in parallel on a shared worker
-//     pool (channel ci belongs to shard ci mod Workers) and the per-epoch
-//     aggregates are reduced in channel-index order. Unlike core's
-//     peer-sharded engine, the worker count never touches an RNG stream:
-//     results are bit-identical for every Workers value, not just for a
-//     fixed one (pinned by TestDeterministicAcrossWorkers).
+//     with private RNG streams, so the director hands each stage to a
+//     pluggable execution backend: the shared-memory backend steps channels
+//     in parallel on a worker pool (channel ci belongs to shard ci mod
+//     Workers), the distsim backend runs them as message-passing nodes on
+//     internal/distsim. Per-epoch aggregates are reduced in channel-index
+//     order either way, so results are bit-identical for every Workers
+//     value AND for both backends at zero link latency/drop (pinned by
+//     TestDeterministicAcrossWorkers and TestDistsimBackendBitIdentical).
 //
 //   - The epoch loop fires every EpochStages stages: per-channel demands
 //     (audience × bitrate) are measured, the configured allocator proposes
 //     a new helper→channel assignment, and if it beats the current one by
 //     more than Hysteresis in maximum deficit the moved helpers migrate —
-//     core.RemoveHelper on the losing channel, core.AddHelper on the
-//     gaining one, which drives AddAction/RemoveAction churn through every
-//     affected peer's learner.
+//     RemoveHelper on the losing channel, AddHelper on the gaining one,
+//     which drives AddAction/RemoveAction churn through every affected
+//     peer's learner. On the distsim backend the migration executes as
+//     control messages between channel-manager nodes and the helper nodes.
 //
 // All channels share one utility scale (the global maximum helper level,
 // via core.Config.UtilityScale) so a migrating helper never exceeds the
@@ -34,12 +37,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"rths/internal/alloc"
 	"rths/internal/core"
 	"rths/internal/markov"
-	"rths/internal/streaming"
 	"rths/internal/xrand"
 )
 
@@ -69,6 +70,33 @@ func (k AllocatorKind) String() string {
 		return "static"
 	default:
 		return fmt.Sprintf("AllocatorKind(%d)", int(k))
+	}
+}
+
+// BackendKind selects the execution backend the director drives.
+type BackendKind int
+
+// Execution backends.
+const (
+	// BackendMemory steps channels as shared-memory core.Systems on a
+	// worker pool; the default.
+	BackendMemory BackendKind = iota
+	// BackendDistsim runs every channel as a manager node and every helper
+	// as its own node on the batched message-passing runtime
+	// (internal/distsim). At zero link latency/drop the per-epoch metrics
+	// are bit-identical to BackendMemory. Call Cluster.Close to join the
+	// node goroutines.
+	BackendDistsim
+)
+
+func (k BackendKind) String() string {
+	switch k {
+	case BackendMemory:
+		return "memory"
+	case BackendDistsim:
+		return "distsim"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", int(k))
 	}
 }
 
@@ -109,6 +137,10 @@ type Config struct {
 	Helpers []core.HelperSpec
 	// Allocator picks the re-allocation policy (default AllocGreedy).
 	Allocator AllocatorKind
+	// Backend picks the execution backend (default BackendMemory). With
+	// BackendDistsim, call Cluster.Close when done to join the node
+	// goroutines.
+	Backend BackendKind
 	// EpochStages is the number of stages between re-allocation epochs
 	// (default 50).
 	EpochStages int
@@ -117,15 +149,20 @@ type Config struct {
 	// strict improvement triggers migration; ties never migrate, so a
 	// steady workload reaches a fixed assignment and stops churning.
 	Hysteresis float64
-	// Workers sizes the channel-stepping worker pool. Unlike core's
-	// peer-sharded engine, results are bit-identical for every Workers
-	// value: parallelism is across channels, which never share an RNG
-	// stream, and reductions run in channel order. 0 or 1 steps serially.
+	// Workers sizes the shared-memory backend's channel-stepping worker
+	// pool. Results are bit-identical for every Workers value: parallelism
+	// is across channels, which never share an RNG stream, and reductions
+	// run in channel order. 0 or 1 steps serially. Ignored by
+	// BackendDistsim (its parallelism is one goroutine per node).
 	Workers int
 	// Seed drives all randomness.
 	Seed uint64
 	// Factory builds selection policies (nil = RTHS learners). Policies
 	// must implement core.DynamicSelector for helper migration to work.
+	// With BackendDistsim the factory is called from channel-manager
+	// goroutines — different channels concurrently — so it must be safe
+	// for concurrent use (stateless factories, like every factory in this
+	// repository, are).
 	Factory core.SelectorFactory
 	// Switching enables Markov channel-switching viewers (nil disables).
 	Switching *SwitchingConfig
@@ -138,7 +175,8 @@ type Config struct {
 
 // EpochMetrics is the cluster's per-epoch observable — the JSON record
 // cmd/rths-cluster emits. All fields are reduced in channel-index order,
-// so a fixed Seed yields bit-identical values for every Workers count.
+// so a fixed Seed yields bit-identical values for every Workers count and
+// for both execution backends (at zero link latency/drop).
 type EpochMetrics struct {
 	// Epoch is the 0-based epoch index; the epoch covers Stages stages
 	// ending at stage (Epoch+1)*Stages.
@@ -182,25 +220,55 @@ type globalHelper struct {
 	expCap float64
 }
 
-// channel is one live channel's runtime state. During the parallel stage
-// phase exactly one worker touches a channel, so the per-epoch accumulators
-// need no synchronization.
-type channel struct {
-	name      string
-	bitrate   float64
-	sys       *core.System
-	peerIDs   []int               // global viewer ids, parallel to sys peer indices
-	bufs      []*streaming.Buffer // playout buffers, parallel to peerIDs
-	helperIDs []int               // global helper ids, parallel to sys helper indices
-
-	// Per-epoch accumulators, reset at each boundary.
+// stageData is one channel's per-stage observables, handed up by the
+// execution backend and accumulated by the director.
+type stageData struct {
 	welfare    float64
 	opt        float64
 	serverLoad float64
 	minDeficit float64
 	played     int
 	stalled    int
-	err        error
+}
+
+func (a *stageData) accumulate(s stageData) {
+	a.welfare += s.welfare
+	a.opt += s.opt
+	a.serverLoad += s.serverLoad
+	a.minDeficit += s.minDeficit
+	a.played += s.played
+	a.stalled += s.stalled
+}
+
+// backend executes the per-channel systems for the director. Membership
+// and migration calls may be applied immediately (shared memory) or
+// queued and applied — in call order — at the start of the next step
+// (distsim); the director always issues every op for a stage before
+// stepping it, so the two disciplines are equivalent.
+type backend interface {
+	// addPeer joins a viewer to channel ci (appended at the next local
+	// index), with the channel's bitrate as demand and a fresh buffer.
+	addPeer(ci int) error
+	// removePeer departs the viewer at local index; later indices shift.
+	removePeer(ci, local int) error
+	// addHelper migrates global helper id (with its spec) into channel ci.
+	addHelper(ci, id int, spec core.HelperSpec) error
+	// removeHelper migrates the helper at local pool index out of ci.
+	removeHelper(ci, local, id int) error
+	// step advances every channel one stage, filling out[ci].
+	step(out []stageData) error
+	// close releases backend resources (joins node goroutines on distsim).
+	close() error
+}
+
+// channel is the director's view of one live channel: identity plus the
+// viewer/helper bookkeeping that scenario events and migration need. The
+// execution state (systems, learners, buffers) lives in the backend.
+type channel struct {
+	name      string
+	bitrate   float64
+	peerIDs   []int // global viewer ids, parallel to backend peer indices
+	helperIDs []int // global helper ids, parallel to backend pool indices
 }
 
 // Cluster is a running multi-channel system.
@@ -210,6 +278,8 @@ type Cluster struct {
 	assign   alloc.Assignment // helper -> channel
 	byPeer   map[int]location
 
+	backend backend
+
 	// viewerIDs lists active viewers in ascending global id — the
 	// deterministic iteration order of the switching pass.
 	viewerIDs []int
@@ -217,10 +287,8 @@ type Cluster struct {
 	allocator   AllocatorKind
 	epochStages int
 	hysteresis  float64
-	workers     int
 	startup     float64
-	factory     core.SelectorFactory // nil = RTHS default
-	scale       float64              // shared utility scale
+	scale       float64 // shared utility scale
 
 	switchChain *markov.Chain
 	viewerRng   *xrand.Rand
@@ -234,6 +302,10 @@ type Cluster struct {
 	// Per-epoch event counters.
 	switches int
 	joins    int
+
+	// Per-channel epoch accumulators and per-stage scratch.
+	acc     []stageData
+	scratch []stageData
 
 	// Reusable epoch scratch.
 	demands []alloc.Channel
@@ -266,14 +338,17 @@ func New(cfg Config) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("cluster: unknown allocator %v", cfg.Allocator)
 	}
+	switch cfg.Backend {
+	case BackendMemory, BackendDistsim:
+	default:
+		return nil, fmt.Errorf("cluster: unknown backend %v", cfg.Backend)
+	}
 	c := &Cluster{
 		byPeer:      make(map[int]location),
 		allocator:   cfg.Allocator,
 		epochStages: cfg.EpochStages,
 		hysteresis:  cfg.Hysteresis,
-		workers:     cfg.Workers,
 		startup:     cfg.StartupStages,
-		factory:     cfg.Factory,
 	}
 	if c.epochStages == 0 {
 		c.epochStages = 50
@@ -324,54 +399,53 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.assign = assign
 
-	// Build channels. The RNG budget is drawn in a fixed order (viewer
-	// stream first, then one seed per channel), so construction is
-	// reproducible and independent of Workers.
+	// Director bookkeeping. The RNG budget is drawn in a fixed order
+	// (viewer stream first, then one seed per channel), so construction is
+	// reproducible and independent of both Workers and the backend choice.
 	master := xrand.New(cfg.Seed)
 	c.viewerRng = master.Split()
+	seeds := make([]uint64, len(cfg.Channels))
+	for ci := range cfg.Channels {
+		seeds[ci] = master.Uint64()
+	}
 	for ci, spec := range cfg.Channels {
-		var pool []core.HelperSpec
-		var ids []int
+		st := &channel{name: spec.Name, bitrate: spec.Bitrate}
 		for h, target := range c.assign {
 			if target == ci {
-				pool = append(pool, c.helpers[h].spec)
-				ids = append(ids, h)
+				st.helperIDs = append(st.helperIDs, h)
 			}
 		}
-		sys, err := core.New(core.Config{
-			NumPeers:      spec.InitialPeers,
-			Helpers:       pool,
-			Factory:       cfg.Factory,
-			Seed:          master.Uint64(),
-			DemandPerPeer: spec.Bitrate,
-			UtilityScale:  scale,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: channel %q: %w", spec.Name, err)
-		}
-		st := &channel{name: spec.Name, bitrate: spec.Bitrate, sys: sys, helperIDs: ids}
 		for i := 0; i < spec.InitialPeers; i++ {
-			buf, err := streaming.NewBuffer(spec.Bitrate, c.startup)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: channel %q buffer: %w", spec.Name, err)
-			}
 			st.peerIDs = append(st.peerIDs, c.nextID)
-			st.bufs = append(st.bufs, buf)
 			c.byPeer[c.nextID] = location{channel: ci, local: i}
 			c.viewerIDs = append(c.viewerIDs, c.nextID)
 			c.nextID++
 		}
 		c.channels = append(c.channels, st)
 	}
+	c.acc = make([]stageData, len(cfg.Channels))
+	c.scratch = make([]stageData, len(cfg.Channels))
+
+	switch cfg.Backend {
+	case BackendDistsim:
+		c.backend, err = newDistBackend(cfg, c.assign, seeds, scale, c.startup)
+	default:
+		c.backend, err = newMemBackend(cfg, c.assign, seeds, scale, c.startup)
+	}
+	if err != nil {
+		return nil, err
+	}
 
 	// Viewer switching chain.
 	if cfg.Switching != nil {
 		if len(cfg.Channels) < 2 {
+			c.backend.close()
 			return nil, errors.New("cluster: switching needs >= 2 channels")
 		}
 		weights := zipfWeights(len(cfg.Channels), cfg.Switching.ZipfS)
 		chain, err := markov.StickyWeighted(weights, cfg.Switching.SwitchProb)
 		if err != nil {
+			c.backend.close()
 			return nil, fmt.Errorf("cluster: switching chain: %w", err)
 		}
 		c.switchChain = chain
@@ -382,6 +456,7 @@ func New(cfg Config) (*Cluster, error) {
 	sort.SliceStable(c.flash, func(a, b int) bool { return c.flash[a].Stage < c.flash[b].Stage })
 	for _, f := range c.flash {
 		if f.Stage < 0 || f.Peers < 0 || f.Channel < 0 || f.Channel >= len(c.channels) {
+			c.backend.close()
 			return nil, fmt.Errorf("cluster: flash crowd %+v invalid", f)
 		}
 	}
@@ -422,6 +497,10 @@ func (c *Cluster) Epoch() int { return c.epoch }
 func (c *Cluster) Assignment() alloc.Assignment {
 	return append(alloc.Assignment(nil), c.assign...)
 }
+
+// Close releases the execution backend. It is required for BackendDistsim
+// (the node goroutines are joined) and a no-op for BackendMemory.
+func (c *Cluster) Close() error { return c.backend.close() }
 
 // MaxDeficit evaluates the current assignment against the channels'
 // current demands (audience × bitrate) and expected helper capacities.
@@ -532,7 +611,7 @@ func (c *Cluster) RunEpoch() (EpochMetrics, error) {
 
 // step advances every channel one stage: scenario events first (flash
 // crowds, Markov switching — sequential, deterministic order), then the
-// parallel channel-stepping phase.
+// backend's channel-stepping phase.
 func (c *Cluster) step() error {
 	for c.flashIdx < len(c.flash) && c.flash[c.flashIdx].Stage == c.stage {
 		f := c.flash[c.flashIdx]
@@ -558,69 +637,14 @@ func (c *Cluster) step() error {
 			c.switches++
 		}
 	}
-	if err := c.stepChannels(); err != nil {
+	if err := c.backend.step(c.scratch); err != nil {
 		return err
+	}
+	for ci := range c.scratch {
+		c.acc[ci].accumulate(c.scratch[ci])
 	}
 	c.stage++
 	return nil
-}
-
-// stepChannels runs every channel's stage, fanning out to Workers
-// goroutines (channel ci on worker ci mod Workers) when the pool is
-// enabled. Channels never share state within a stage, so the fan-out has
-// no effect on results — only on wall-clock.
-func (c *Cluster) stepChannels() error {
-	if c.workers > 1 && len(c.channels) >= c.workers {
-		var wg sync.WaitGroup
-		wg.Add(c.workers)
-		for k := 0; k < c.workers; k++ {
-			go func(k int) {
-				defer wg.Done()
-				for ci := k; ci < len(c.channels); ci += c.workers {
-					c.channels[ci].step()
-				}
-			}(k)
-		}
-		wg.Wait()
-	} else {
-		for _, st := range c.channels {
-			st.step()
-		}
-	}
-	for _, st := range c.channels {
-		if st.err != nil {
-			err := st.err
-			st.err = nil
-			return fmt.Errorf("cluster: channel %q: %w", st.name, err)
-		}
-	}
-	return nil
-}
-
-// step advances one channel one stage and accumulates its epoch partials.
-// Runs on the worker pool; touches only this channel's state.
-func (ch *channel) step() {
-	res, err := ch.sys.Step()
-	if err != nil {
-		ch.err = err
-		return
-	}
-	ch.welfare += res.Welfare
-	ch.opt += res.OptWelfare
-	ch.serverLoad += res.ServerLoad
-	ch.minDeficit += res.MinDeficit
-	for i, b := range ch.bufs {
-		ok, err := b.Tick(res.Rates[i])
-		if err != nil {
-			ch.err = err
-			return
-		}
-		if ok {
-			ch.played++
-		} else {
-			ch.stalled++
-		}
-	}
 }
 
 // boundary reduces the epoch metrics in channel order, runs the
@@ -628,15 +652,15 @@ func (ch *channel) step() {
 func (c *Cluster) boundary() (EpochMetrics, error) {
 	var welfare, opt, serverLoad, minDeficit float64
 	var played, stalled int
-	for _, st := range c.channels {
-		welfare += st.welfare
-		opt += st.opt
-		serverLoad += st.serverLoad
-		minDeficit += st.minDeficit
-		played += st.played
-		stalled += st.stalled
-		st.welfare, st.opt, st.serverLoad, st.minDeficit = 0, 0, 0, 0
-		st.played, st.stalled = 0, 0
+	for ci := range c.acc {
+		a := &c.acc[ci]
+		welfare += a.welfare
+		opt += a.opt
+		serverLoad += a.serverLoad
+		minDeficit += a.minDeficit
+		played += a.played
+		stalled += a.stalled
+		*a = stageData{}
 	}
 	moves, err := c.reallocate()
 	if err != nil {
@@ -750,9 +774,8 @@ func (c *Cluster) stabilize(next alloc.Assignment) {
 
 // migrate applies the new assignment: additions first so no channel is
 // ever left empty, then removals. Helpers restart their bandwidth chain on
-// arrival (AddHelper draws a fresh initial state from the receiving
-// channel's stream) — migration is a physical re-deployment, not a live
-// hand-off.
+// arrival (the gaining channel draws a fresh initial state from its own
+// stream) — migration is a physical re-deployment, not a live hand-off.
 func (c *Cluster) migrate(next alloc.Assignment) (int, error) {
 	moves := 0
 	for h, target := range next {
@@ -760,7 +783,7 @@ func (c *Cluster) migrate(next alloc.Assignment) (int, error) {
 			continue
 		}
 		dst := c.channels[target]
-		if err := dst.sys.AddHelper(c.helpers[h].spec); err != nil {
+		if err := c.backend.addHelper(target, h, c.helpers[h].spec); err != nil {
 			return moves, fmt.Errorf("cluster: migrate helper %d to %q: %w", h, dst.name, err)
 		}
 		dst.helperIDs = append(dst.helperIDs, h)
@@ -781,7 +804,7 @@ func (c *Cluster) migrate(next alloc.Assignment) (int, error) {
 		if local < 0 {
 			return moves, fmt.Errorf("cluster: helper %d missing from channel %q", h, src.name)
 		}
-		if err := src.sys.RemoveHelper(local); err != nil {
+		if err := c.backend.removeHelper(c.assign[h], local, h); err != nil {
 			return moves, fmt.Errorf("cluster: migrate helper %d from %q: %w", h, src.name, err)
 		}
 		src.helperIDs = append(src.helperIDs[:local], src.helperIDs[local+1:]...)
@@ -790,38 +813,17 @@ func (c *Cluster) migrate(next alloc.Assignment) (int, error) {
 	return moves, nil
 }
 
-// newSelector builds a mid-run viewer's selection policy from the
-// configured factory (nil lets AddPeer construct the RTHS default), so
-// flash-crowd joiners and channel switchers run the same policy family as
-// the initial audience.
-func (c *Cluster) newSelector(st *channel) (core.Selector, error) {
-	if c.factory == nil {
-		return nil, nil
-	}
-	return c.factory(st.sys.NumPeers(), st.sys.NumHelpers(), c.scale)
-}
-
 // join adds a fresh viewer to channel ci with a new learner and an empty
 // playout buffer.
 func (c *Cluster) join(ci int) error {
 	st := c.channels[ci]
-	sel, err := c.newSelector(st)
-	if err != nil {
-		return fmt.Errorf("cluster: join channel %q: %w", st.name, err)
-	}
-	local, err := st.sys.AddPeer(sel, st.bitrate)
-	if err != nil {
-		return fmt.Errorf("cluster: join channel %q: %w", st.name, err)
-	}
-	buf, err := streaming.NewBuffer(st.bitrate, c.startup)
-	if err != nil {
+	if err := c.backend.addPeer(ci); err != nil {
 		return fmt.Errorf("cluster: join channel %q: %w", st.name, err)
 	}
 	id := c.nextID
 	c.nextID++
+	c.byPeer[id] = location{channel: ci, local: len(st.peerIDs)}
 	st.peerIDs = append(st.peerIDs, id)
-	st.bufs = append(st.bufs, buf)
-	c.byPeer[id] = location{channel: ci, local: local}
 	c.viewerIDs = append(c.viewerIDs, id)
 	c.joins++
 	return nil
@@ -838,29 +840,18 @@ func (c *Cluster) move(id, to int) error {
 		return nil
 	}
 	src := c.channels[loc.channel]
-	if err := src.sys.RemovePeer(loc.local); err != nil {
+	if err := c.backend.removePeer(loc.channel, loc.local); err != nil {
 		return fmt.Errorf("cluster: leave channel %q: %w", src.name, err)
 	}
 	src.peerIDs = append(src.peerIDs[:loc.local], src.peerIDs[loc.local+1:]...)
-	src.bufs = append(src.bufs[:loc.local], src.bufs[loc.local+1:]...)
 	for i := loc.local; i < len(src.peerIDs); i++ {
 		c.byPeer[src.peerIDs[i]] = location{channel: loc.channel, local: i}
 	}
 	dst := c.channels[to]
-	sel, err := c.newSelector(dst)
-	if err != nil {
+	if err := c.backend.addPeer(to); err != nil {
 		return fmt.Errorf("cluster: join channel %q: %w", dst.name, err)
 	}
-	local, err := dst.sys.AddPeer(sel, dst.bitrate)
-	if err != nil {
-		return fmt.Errorf("cluster: join channel %q: %w", dst.name, err)
-	}
-	buf, err := streaming.NewBuffer(dst.bitrate, c.startup)
-	if err != nil {
-		return fmt.Errorf("cluster: join channel %q: %w", dst.name, err)
-	}
+	c.byPeer[id] = location{channel: to, local: len(dst.peerIDs)}
 	dst.peerIDs = append(dst.peerIDs, id)
-	dst.bufs = append(dst.bufs, buf)
-	c.byPeer[id] = location{channel: to, local: local}
 	return nil
 }

@@ -274,14 +274,14 @@ func TestMigrationChurnsLearnerActionSets(t *testing.T) {
 		t.Fatal("flash crowd did not trigger migration")
 	}
 	for ci := 0; ci < c.NumChannels(); ci++ {
-		st := c.channels[ci]
-		if got, want := st.sys.NumHelpers(), c.ChannelPool(ci); got != want {
+		sys := c.backend.(*memBackend).channels[ci].sys
+		if got, want := sys.NumHelpers(), c.ChannelPool(ci); got != want {
 			t.Fatalf("channel %d system has %d helpers, pool map says %d", ci, got, want)
 		}
-		for i := 0; i < st.sys.NumPeers(); i++ {
-			if got := st.sys.Selector(i).NumActions(); got != st.sys.NumHelpers() {
+		for i := 0; i < sys.NumPeers(); i++ {
+			if got := sys.Selector(i).NumActions(); got != sys.NumHelpers() {
 				t.Fatalf("channel %d peer %d has %d actions, pool %d",
-					ci, i, got, st.sys.NumHelpers())
+					ci, i, got, sys.NumHelpers())
 			}
 		}
 	}

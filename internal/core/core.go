@@ -200,6 +200,11 @@ type System struct {
 	// for pure-bandit populations (the paper's setting: no observers).
 	observers []StageObserver
 
+	// midStage is set between SelectStage and FinishStage — the split-phase
+	// protocol the distributed runtime drives — and guards against mixing
+	// the split-phase and whole-stage entry points.
+	midStage bool
+
 	// Sharded parallel engine (Config.Workers > 1).
 	workers    int
 	shardRngs  []*xrand.Rand // per-shard selection streams
@@ -428,6 +433,9 @@ func (s *System) Step() (StageResult, error) {
 // stepInto is Step with the result written in place, letting Run drive the
 // stage loop without copying a StageResult per stage.
 func (s *System) stepInto(res *StageResult) error {
+	if s.midStage {
+		return errors.New("core: Step during an open SelectStage/FinishStage pair")
+	}
 	// 1. Environment moves (exogenous, independent of play).
 	for _, h := range s.helpers {
 		h.proc.Step()
@@ -436,6 +444,15 @@ func (s *System) stepInto(res *StageResult) error {
 		s.caps[j] = h.capacity()
 	}
 	// 2. Simultaneous selection.
+	if err := s.selectPhase(); err != nil {
+		return err
+	}
+	return s.finishInto(res)
+}
+
+// selectPhase runs the simultaneous-selection pass, filling s.actions and
+// s.loads.
+func (s *System) selectPhase() error {
 	if s.workers > 1 {
 		if err := s.selectSharded(); err != nil {
 			return err
@@ -453,7 +470,13 @@ func (s *System) stepInto(res *StageResult) error {
 			s.loads[a]++
 		}
 	}
-	// 3. Realized rates and bandit feedback. One division per helper, not
+	return nil
+}
+
+// finishInto completes a stage after selection: realized rates, bandit
+// feedback, and the stage metrics, all from the capacities in s.caps.
+func (s *System) finishInto(res *StageResult) error {
+	// Realized rates and bandit feedback. One division per helper, not
 	// per peer: every peer on helper j receives the same C_j/load_j.
 	capSum := 0.0
 	for j, c := range s.caps {
@@ -645,6 +668,60 @@ func topSum(caps, scratch []float64, n int) float64 {
 		sum += sc[i]
 	}
 	return sum
+}
+
+// SelectStage runs only the simultaneous-selection pass of a stage — the
+// first half of the split-phase protocol the distributed runtime
+// (internal/distsim) drives when helper capacities are realized on remote
+// nodes. The returned action and load slices alias internal buffers that
+// the next stage overwrites. The helpers' bandwidth processes are NOT
+// advanced: the caller owns them between SelectStage and FinishStage (see
+// HelperProcess).
+func (s *System) SelectStage() (actions []int, loads []int, err error) {
+	if s.midStage {
+		return nil, nil, errors.New("core: SelectStage called twice without FinishStage")
+	}
+	if err := s.selectPhase(); err != nil {
+		return nil, nil, err
+	}
+	s.midStage = true
+	return s.actions, s.loads, nil
+}
+
+// FinishStage completes a stage begun with SelectStage using externally
+// realized helper capacities (len must equal NumHelpers): rates are
+// divided out, bandit feedback is delivered, and the stage metrics are
+// computed exactly as Step would — the arithmetic is the same code path,
+// so a distributed run that feeds back the true capacities reproduces the
+// shared-memory trajectory bit-identically. The result's slices alias
+// internal buffers, as with Step.
+func (s *System) FinishStage(caps []float64) (StageResult, error) {
+	var res StageResult
+	if !s.midStage {
+		return res, errors.New("core: FinishStage without SelectStage")
+	}
+	if len(caps) != len(s.helpers) {
+		return res, fmt.Errorf("core: FinishStage with %d capacities for %d helpers", len(caps), len(s.helpers))
+	}
+	copy(s.caps, caps)
+	s.midStage = false
+	err := s.finishInto(&res)
+	return res, err
+}
+
+// HelperProcess returns helper j's bandwidth process so a distributed
+// runtime can host it on a remote node. A system driven through the
+// SelectStage/FinishStage split never advances the process itself; calling
+// Step or Run while another goroutine owns the returned process is a data
+// race.
+func (s *System) HelperProcess(j int) *markov.Process {
+	return s.helpers[j].proc
+}
+
+// HelperLevels returns a copy of helper j's bandwidth levels in
+// state-index order (the node-side companion of HelperProcess).
+func (s *System) HelperLevels(j int) []float64 {
+	return append([]float64(nil), s.helpers[j].levels...)
 }
 
 // Run advances the system `stages` stages, invoking observe (if non-nil)

@@ -32,8 +32,12 @@ type ClusterScenario struct {
 	// (FlashPeers = 0 disables).
 	FlashStage, FlashChannel, FlashPeers int
 	Allocator                            cluster.AllocatorKind
-	Workers                              int
-	Seed                                 uint64
+	// Backend selects the execution backend (shared-memory worker pool or
+	// the distsim message-passing runtime). With cluster.BackendDistsim,
+	// Close the built cluster to join its node goroutines.
+	Backend cluster.BackendKind
+	Workers int
+	Seed    uint64
 }
 
 // ClusterScale is the tentpole's acceptance shape: 100 channels, 10k
@@ -105,6 +109,7 @@ func (s ClusterScenario) Build() (cluster.Config, error) {
 		Channels:    specs,
 		Helpers:     cluster.UniformHelpers(s.Helpers, helper),
 		Allocator:   s.Allocator,
+		Backend:     s.Backend,
 		EpochStages: s.EpochStages,
 		Hysteresis:  s.Hysteresis,
 		Workers:     s.Workers,

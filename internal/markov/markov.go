@@ -113,6 +113,47 @@ func (c *Chain) Stationary() (mat.Vector, error) {
 	return pi.Normalize1(), nil
 }
 
+// StationaryIter estimates the stationary distribution by power iteration
+// with a convergence guard: starting from the uniform distribution it
+// iterates π ← πP until the L1 change of one sweep falls below tol,
+// returning the distribution and the number of sweeps used. It errors when
+// maxIters sweeps pass without convergence — periodic chains (where the
+// iterates oscillate forever) and tolerances below the attainable
+// precision both surface instead of silently returning garbage.
+//
+// It is the large-state-space companion of Stationary: the linear solve is
+// O(n³), a sweep is O(n²) (O(nnz) for sparse transitions), and the
+// forecast-driven "proactive re-allocation" loop only needs the stationary
+// audience flow of the viewer-switching chain to a few digits. For sticky
+// chains with switch probability p the contraction factor is |1 - p·n/(n-1)|,
+// so a handful of sweeps suffices at the simulator's parameters.
+func (c *Chain) StationaryIter(tol float64, maxIters int) (mat.Vector, int, error) {
+	if tol <= 0 {
+		return nil, 0, fmt.Errorf("markov: StationaryIter tol=%g", tol)
+	}
+	if maxIters <= 0 {
+		return nil, 0, fmt.Errorf("markov: StationaryIter maxIters=%d", maxIters)
+	}
+	n := c.NumStates()
+	pi := mat.NewVector(n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for k := 1; k <= maxIters; k++ {
+		next := c.p.VecMul(pi)
+		delta := 0.0
+		for i := range next {
+			delta += math.Abs(next[i] - pi[i])
+		}
+		pi = next
+		if delta < tol {
+			return pi.Normalize1(), k, nil
+		}
+	}
+	return nil, maxIters, fmt.Errorf("markov: StationaryIter did not converge to %g in %d sweeps (periodic chain?)",
+		tol, maxIters)
+}
+
 // StationaryPower estimates the stationary distribution by power iteration
 // from the uniform distribution; used in tests to cross-check Stationary.
 func (c *Chain) StationaryPower(iters int) mat.Vector {

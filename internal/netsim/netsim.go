@@ -1,38 +1,29 @@
-// Package netsim runs the helper-selection protocol as a genuinely
-// distributed system: every peer and every helper is its own goroutine, and
-// they communicate exclusively by message passing (attach requests in one
-// direction, realized rates in the other). No goroutine ever reads another
-// node's state — the only information a peer receives is its own rate, the
-// paper's bandit-feedback assumption made structural.
+// Package netsim is the single-channel compatibility surface over the
+// batched distributed runtime (internal/distsim). The first-generation
+// runtime implemented here ran one goroutine per peer and paid one channel
+// send per peer per round (attach + reply + report — O(peers) messages);
+// distsim hosts the peers in a channel-manager node and batches the whole
+// round's attach traffic into one slice-valued message per helper, so the
+// same protocol costs O(helpers) messages per round. This wrapper keeps
+// the original Config/EpochStats/Runtime API for existing callers and
+// maps one distsim round to one epoch.
 //
-// The protocol is round (epoch) synchronous, matching the repeated-game
-// model:
-//
-//  1. each peer samples a helper from its policy and sends an attach
-//     message carrying a private reply channel, then signals the
-//     coordinator;
-//  2. once all peers have attached, the coordinator flushes the helpers;
-//  3. each helper drains its inbox, advances its bandwidth chain, and
-//     replies C/n to every attached peer;
-//  4. peers feed the rate into their policies and report the round's
-//     outcome to the coordinator, which assembles the epoch statistics.
-//
-// A peer cannot begin round e+1 before receiving its rate for round e, and
-// every attach for round e is buffered before the flush for round e is
-// sent (channel-send ordering), so rounds never mix; epochs are still
-// tagged and verified defensively. All goroutines are joined before Run
-// returns (no fire-and-forget), and per-node RNG streams make runs
-// deterministic for a given seed despite the concurrency.
+// The protocol semantics are unchanged: helpers advance their bandwidth
+// chains once per round on their own nodes, every peer's policy sees only
+// its own realized rate (the paper's bandit-feedback assumption), and runs
+// are deterministic for a fixed seed despite the concurrency. Trajectories
+// differ from the retired per-peer-goroutine implementation (the random
+// streams are organized per channel rather than per peer), but every
+// protocol invariant — rate = C_j/load_j, welfare = occupied capacity,
+// epoch ordering — is preserved.
 package netsim
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"rths/internal/core"
-	"rths/internal/markov"
-	"rths/internal/xrand"
+	"rths/internal/distsim"
 )
 
 // Config assembles a distributed run.
@@ -49,8 +40,8 @@ type Config struct {
 
 // EpochStats is the coordinator's per-epoch aggregate — the distributed
 // counterpart of core.StageResult. The slices handed to Run's observer are
-// reused by the coordinator across epochs: read them synchronously inside
-// the callback, or Clone to retain them.
+// reused by the runtime across epochs: read them synchronously inside the
+// callback, or Clone to retain them.
 type EpochStats struct {
 	Epoch      int
 	Actions    []int
@@ -70,64 +61,14 @@ func (es EpochStats) Clone() EpochStats {
 	return cp
 }
 
-type attachMsg struct {
-	epoch int
-	peer  int
-	reply chan float64
-}
-
-type flushMsg struct {
-	epoch int
-}
-
-type helperReport struct {
-	helper   int
-	epoch    int
-	load     int
-	capacity float64
-	err      error
-}
-
-type peerReport struct {
-	peer   int
-	epoch  int
-	action int
-	rate   float64
-	err    error
-}
-
 // Runtime owns the nodes of one distributed run.
 type Runtime struct {
-	cfg     Config
-	scale   float64
-	helpers []*helperNode
-	peers   []*peerNode
+	inner *distsim.Runtime
+	ran   bool
 }
 
-type helperNode struct {
-	id      int
-	levels  []float64
-	proc    *markov.Process
-	inbox   chan attachMsg
-	flush   chan flushMsg
-	reports chan<- helperReport
-	pending []attachMsg // carry-over attaches from later rounds
-	serve   []attachMsg // reusable per-round serve list
-}
-
-type peerNode struct {
-	id      int
-	sel     core.Selector
-	rng     *xrand.Rand
-	scale   float64
-	helpers []chan attachMsg // attach inboxes, one per helper
-	attach  chan<- int       // signals "peer i attached" to coordinator
-	reports chan<- peerReport
-	reply   chan float64
-}
-
-// New validates the config and builds the runtime (nodes are not started
-// until Run).
+// New validates the config and builds the runtime (node goroutines do not
+// start until Run).
 func New(cfg Config) (*Runtime, error) {
 	if cfg.NumPeers <= 0 {
 		return nil, fmt.Errorf("netsim: NumPeers=%d", cfg.NumPeers)
@@ -135,250 +76,53 @@ func New(cfg Config) (*Runtime, error) {
 	if len(cfg.Helpers) == 0 {
 		return nil, errors.New("netsim: no helpers")
 	}
-	scale := 0.0
-	for _, spec := range cfg.Helpers {
-		for _, lv := range spec.Levels {
-			if lv <= 0 {
-				return nil, fmt.Errorf("netsim: non-positive level %g", lv)
-			}
-			if lv > scale {
-				scale = lv
-			}
-		}
+	assign := make([]int, len(cfg.Helpers))
+	inner, err := distsim.New(distsim.Config{
+		Channels: []distsim.ChannelConfig{{
+			Name:         "netsim",
+			Seed:         cfg.Seed,
+			InitialPeers: cfg.NumPeers,
+		}},
+		Helpers: cfg.Helpers,
+		Assign:  assign,
+		Factory: cfg.Factory,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
 	}
-	return &Runtime{cfg: cfg, scale: scale}, nil
+	return &Runtime{inner: inner}, nil
 }
 
 // Run executes the protocol for the given number of epochs, invoking
 // observe (if non-nil) with each epoch's statistics. The observed stats
-// reuse the coordinator's buffers across epochs — call EpochStats.Clone to
-// retain them past the callback. Run spawns one goroutine per node plus
-// the coordinator and joins them all before returning. Run may be called
-// once per Runtime.
+// alias runtime buffers reused across epochs — call EpochStats.Clone to
+// retain them past the callback. All node goroutines are joined before Run
+// returns. Run may be called once per Runtime.
 func (rt *Runtime) Run(epochs int, observe func(EpochStats)) error {
 	if epochs <= 0 {
 		return fmt.Errorf("netsim: epochs=%d", epochs)
 	}
-	n := rt.cfg.NumPeers
-	h := len(rt.cfg.Helpers)
-	factory := rt.cfg.Factory
-	if factory == nil {
-		factory = core.RTHSFactory()
+	if rt.ran {
+		return errors.New("netsim: Run called twice")
 	}
-	master := xrand.New(rt.cfg.Seed)
-
-	helperReports := make(chan helperReport, h)
-	peerReports := make(chan peerReport, n)
-	attached := make(chan int, n)
-
-	// Build helpers.
-	inboxes := make([]chan attachMsg, h)
-	rt.helpers = rt.helpers[:0]
-	for j := 0; j < h; j++ {
-		spec := rt.cfg.Helpers[j]
-		sp := spec.SwitchProb
-		if sp == 0 {
-			sp = core.DefaultSwitchProb
-		}
-		var chain *markov.Chain
-		var err error
-		if len(spec.Levels) == 1 {
-			chain, err = markov.Sticky(1, 0.5)
-		} else {
-			chain, err = markov.Sticky(len(spec.Levels), sp)
-		}
+	rt.ran = true
+	defer rt.inner.Close()
+	for e := 0; e < epochs; e++ {
+		stats, err := rt.inner.StepRound()
 		if err != nil {
-			return fmt.Errorf("netsim: helper %d: %w", j, err)
+			return err
 		}
-		rng := master.Split()
-		init := spec.InitState
-		if init < 0 {
-			init = rng.Intn(len(spec.Levels))
-		}
-		if init >= len(spec.Levels) {
-			return fmt.Errorf("netsim: helper %d init state %d out of range", j, init)
-		}
-		// Inbox is buffered to the protocol bound: at most every peer
-		// attaches once per round, and rounds cannot overlap by more than
-		// one (peers block on their reply).
-		inboxes[j] = make(chan attachMsg, 2*n)
-		rt.helpers = append(rt.helpers, &helperNode{
-			id:      j,
-			levels:  append([]float64(nil), spec.Levels...),
-			proc:    chain.Start(rng, init),
-			inbox:   inboxes[j],
-			flush:   make(chan flushMsg, 1),
-			reports: helperReports,
-		})
-	}
-
-	// Build peers.
-	rt.peers = rt.peers[:0]
-	for i := 0; i < n; i++ {
-		sel, err := factory(i, h, rt.scale)
-		if err != nil {
-			return fmt.Errorf("netsim: peer %d policy: %w", i, err)
-		}
-		if sel.NumActions() != h {
-			return fmt.Errorf("netsim: peer %d policy has %d actions, want %d", i, sel.NumActions(), h)
-		}
-		rt.peers = append(rt.peers, &peerNode{
-			id:      i,
-			sel:     sel,
-			rng:     master.Split(),
-			scale:   rt.scale,
-			helpers: inboxes,
-			attach:  attached,
-			reports: peerReports,
-			reply:   make(chan float64, 1),
-		})
-	}
-
-	var wg sync.WaitGroup
-	for _, hn := range rt.helpers {
-		wg.Add(1)
-		go func(hn *helperNode) {
-			defer wg.Done()
-			hn.run(epochs)
-		}(hn)
-	}
-	for _, pn := range rt.peers {
-		wg.Add(1)
-		go func(pn *peerNode) {
-			defer wg.Done()
-			pn.run(epochs)
-		}(pn)
-	}
-
-	// Coordinator loop (in this goroutine). The stats buffers are allocated
-	// once and refilled per epoch — every helper and peer reports every
-	// epoch, so each cell is overwritten before the observer sees it.
-	var firstErr error
-	stats := EpochStats{
-		Actions:    make([]int, n),
-		Rates:      make([]float64, n),
-		Loads:      make([]int, h),
-		Capacities: make([]float64, h),
-	}
-	for e := 0; e < epochs; e++ {
-		// Barrier 1: all peers attached.
-		for k := 0; k < n; k++ {
-			<-attached
-		}
-		// Flush helpers.
-		for _, hn := range rt.helpers {
-			hn.flush <- flushMsg{epoch: e}
-		}
-		// Collect reports.
-		stats.Epoch = e
-		stats.Welfare = 0
-		for k := 0; k < h; k++ {
-			rep := <-helperReports
-			if rep.err != nil && firstErr == nil {
-				firstErr = rep.err
-			}
-			if rep.epoch != e && firstErr == nil {
-				firstErr = fmt.Errorf("netsim: helper %d reported epoch %d during %d", rep.helper, rep.epoch, e)
-			}
-			stats.Loads[rep.helper] = rep.load
-			stats.Capacities[rep.helper] = rep.capacity
-		}
-		for k := 0; k < n; k++ {
-			rep := <-peerReports
-			if rep.err != nil && firstErr == nil {
-				firstErr = rep.err
-			}
-			if rep.epoch != e && firstErr == nil {
-				firstErr = fmt.Errorf("netsim: peer %d reported epoch %d during %d", rep.peer, rep.epoch, e)
-			}
-			stats.Actions[rep.peer] = rep.action
-			stats.Rates[rep.peer] = rep.rate
-		}
-		// Sum in index order so the result is bit-identical across runs
-		// regardless of report arrival order.
-		for _, r := range stats.Rates {
-			stats.Welfare += r
-		}
-		if observe != nil && firstErr == nil {
-			observe(stats)
+		if observe != nil {
+			ch := &stats.Channels[0]
+			observe(EpochStats{
+				Epoch:      stats.Round,
+				Actions:    ch.Actions,
+				Rates:      ch.Rates,
+				Loads:      ch.Loads,
+				Capacities: ch.Capacities,
+				Welfare:    ch.Welfare,
+			})
 		}
 	}
-	wg.Wait()
-	return firstErr
-}
-
-func (hn *helperNode) run(epochs int) {
-	for e := 0; e < epochs; e++ {
-		f := <-hn.flush
-		// Drain everything buffered; keep messages from later rounds.
-		drained := true
-		for drained {
-			select {
-			case m := <-hn.inbox:
-				hn.pending = append(hn.pending, m)
-			default:
-				drained = false
-			}
-		}
-		// Partition in place: this round's attaches move to the reusable
-		// serve buffer, later rounds' compact to the front of pending —
-		// no per-round slice churn.
-		serve := hn.serve[:0]
-		keep := 0
-		var badEpoch attachMsg
-		haveBad := false
-		for i := range hn.pending {
-			m := hn.pending[i]
-			switch {
-			case m.epoch == f.epoch:
-				serve = append(serve, m)
-			case m.epoch > f.epoch:
-				hn.pending[keep] = m
-				keep++
-			default:
-				badEpoch = m
-				haveBad = true
-			}
-		}
-		hn.pending = hn.pending[:keep]
-		hn.serve = serve // retain the (possibly grown) buffer for reuse
-
-		// The environment moves once per round regardless of load.
-		hn.proc.Step()
-		capacity := hn.levels[hn.proc.State()]
-		rate := 0.0
-		if len(serve) > 0 {
-			rate = capacity / float64(len(serve))
-		}
-		for _, m := range serve {
-			m.reply <- rate
-		}
-		rep := helperReport{helper: hn.id, epoch: f.epoch, load: len(serve), capacity: capacity}
-		if haveBad {
-			rep.err = fmt.Errorf("netsim: helper %d got stale attach from peer %d (epoch %d at round %d)",
-				hn.id, badEpoch.peer, badEpoch.epoch, f.epoch)
-		}
-		hn.reports <- rep
-	}
-}
-
-func (pn *peerNode) run(epochs int) {
-	for e := 0; e < epochs; e++ {
-		a := pn.sel.Select(pn.rng)
-		rep := peerReport{peer: pn.id, epoch: e, action: a}
-		if a < 0 || a >= len(pn.helpers) {
-			rep.err = fmt.Errorf("netsim: peer %d chose invalid helper %d", pn.id, a)
-			pn.attach <- pn.id
-			pn.reports <- rep
-			continue
-		}
-		pn.helpers[a] <- attachMsg{epoch: e, peer: pn.id, reply: pn.reply}
-		pn.attach <- pn.id
-		rate := <-pn.reply
-		rep.rate = rate
-		if err := pn.sel.Update(a, rate/pn.scale); err != nil {
-			rep.err = fmt.Errorf("netsim: peer %d update: %w", pn.id, err)
-		}
-		pn.reports <- rep
-	}
+	return nil
 }

@@ -33,6 +33,7 @@ import (
 	"rths/internal/alloc"
 	"rths/internal/cluster"
 	"rths/internal/core"
+	"rths/internal/distsim"
 	"rths/internal/experiment"
 	"rths/internal/metrics"
 	"rths/internal/netsim"
@@ -96,12 +97,27 @@ type (
 	MultiChannelResult = overlay.StepResult
 	// ChannelResult is one channel's view of a completed stage.
 	ChannelResult = overlay.ChannelResult
-	// DistributedConfig configures the goroutine-per-node runtime.
+	// DistributedConfig configures the single-channel distributed run
+	// (a compatibility surface over the batched distsim runtime).
 	DistributedConfig = netsim.Config
-	// Distributed is the message-passing runtime.
+	// Distributed is the single-channel message-passing runtime.
 	Distributed = netsim.Runtime
 	// EpochStats is the distributed runtime's per-epoch aggregate.
 	EpochStats = netsim.EpochStats
+	// DistsimConfig configures the batched multi-channel message-passing
+	// runtime (channel-manager nodes, per-helper inboxes, migration as
+	// control messages).
+	DistsimConfig = distsim.Config
+	// DistsimChannelConfig describes one distsim channel deployment.
+	DistsimChannelConfig = distsim.ChannelConfig
+	// DistsimRuntime is the batched message-passing runtime.
+	DistsimRuntime = distsim.Runtime
+	// DistsimRoundStats is the per-round, per-channel aggregate.
+	DistsimRoundStats = distsim.RoundStats
+	// LinkModel adjudicates distsim data-plane messages (latency/drops).
+	LinkModel = distsim.LinkModel
+	// LossyLink is the iid drop/delay link model.
+	LossyLink = distsim.Lossy
 	// ChannelDemand is one channel's aggregate demand for helper allocation.
 	ChannelDemand = alloc.Channel
 	// MultiChannelTotals is the overlay's allocation-free aggregate view.
@@ -160,6 +176,8 @@ type (
 	ClusterFlashCrowd = cluster.FlashCrowd
 	// ClusterAllocator selects the re-allocation policy.
 	ClusterAllocator = cluster.AllocatorKind
+	// ClusterBackend selects the cluster's execution backend.
+	ClusterBackend = cluster.BackendKind
 	// ClusterScenario parameterizes the cluster presets.
 	ClusterScenario = experiment.ClusterScenario
 )
@@ -170,6 +188,28 @@ const (
 	ClusterAllocProportional = cluster.AllocProportional
 	ClusterAllocStatic       = cluster.AllocStatic
 )
+
+// Cluster execution backends. BackendDistsim runs every channel as a
+// manager node and every helper as its own message-passing node on the
+// batched distsim runtime; at zero link latency/drop it reproduces the
+// shared-memory metrics bit-identically. Call Cluster.Close when done.
+const (
+	ClusterBackendMemory  = cluster.BackendMemory
+	ClusterBackendDistsim = cluster.BackendDistsim
+)
+
+// NewDistsim builds the batched multi-channel message-passing runtime
+// directly (the cluster engine drives it through ClusterBackendDistsim;
+// use this for custom deployments and lossy-link experiments).
+func NewDistsim(cfg DistsimConfig) (*DistsimRuntime, error) { return distsim.New(cfg) }
+
+// NewLossyLink validates and builds the iid drop/delay link model for
+// distsim deployments. Use it rather than a LossyLink literal: an invalid
+// combination (e.g. DelayProb > 0 with MaxDelay 0) is rejected here
+// instead of surfacing mid-run.
+func NewLossyLink(dropProb, delayProb float64, maxDelay int) (LossyLink, error) {
+	return distsim.NewLossy(dropProb, delayProb, maxDelay)
+}
 
 // NewMultiChannel builds a multi-channel overlay system.
 func NewMultiChannel(cfg MultiChannelConfig) (*MultiChannel, error) { return overlay.New(cfg) }
@@ -196,7 +236,10 @@ func ClusterScale() ClusterScenario { return experiment.ClusterScale() }
 // ClusterSmall is the laptop-scale cluster smoke scenario.
 func ClusterSmall() ClusterScenario { return experiment.ClusterSmall() }
 
-// NewDistributed builds the goroutine-per-node message-passing runtime.
+// NewDistributed builds the single-channel message-passing runtime (the
+// compatibility surface over the batched distsim runtime: one channel
+// manager hosting the peers, one node per helper, O(helpers) messages per
+// round).
 func NewDistributed(cfg DistributedConfig) (*Distributed, error) { return netsim.New(cfg) }
 
 // AllocateHelpers assigns a helper pool to channels greedily by largest
