@@ -157,34 +157,54 @@ type clusterSpec struct {
 	helpers  int
 	workers  int
 	backend  rths.ClusterBackend
+	churn    bool // replay a generated churn trace through Cluster.Replay
 }
 
 func defaultClusterScenarios(full bool) []clusterSpec {
 	specs := []clusterSpec{
-		{"cluster-small-seq", 8, 240, 16, 0, rths.ClusterBackendMemory},
-		{"cluster-mid-seq", 20, 1000, 40, 0, rths.ClusterBackendMemory},
-		{"cluster-mid-workers4", 20, 1000, 40, 4, rths.ClusterBackendMemory},
+		{"cluster-small-seq", 8, 240, 16, 0, rths.ClusterBackendMemory, false},
+		{"cluster-mid-seq", 20, 1000, 40, 0, rths.ClusterBackendMemory, false},
+		{"cluster-mid-workers4", 20, 1000, 40, 4, rths.ClusterBackendMemory, false},
 		// The distsim acceptance pair: the same 4-channel, N=1k deployment
 		// on the shared-memory backend and on the batched message-passing
 		// runtime. The distsim row must stay within ~5x of the memory row.
-		{"cluster-4ch-seq", 4, 1000, 16, 0, rths.ClusterBackendMemory},
-		{"cluster-4ch-distsim", 4, 1000, 16, 0, rths.ClusterBackendDistsim},
+		{"cluster-4ch-seq", 4, 1000, 16, 0, rths.ClusterBackendMemory, false},
+		{"cluster-4ch-distsim", 4, 1000, 16, 0, rths.ClusterBackendDistsim, false},
+		// The churn-replay pair: the same deployment driven by a generated
+		// Poisson/Zipf viewer trace through Cluster.Replay (joins, leaves
+		// and zaps applied per stage, re-allocation epochs included) on
+		// both backends. Event application rides on top of the stage loop,
+		// so these rows bound the replay overhead against cluster-4ch-*.
+		{"churn-replay-4ch-seq", 4, 1000, 16, 0, rths.ClusterBackendMemory, true},
+		{"churn-replay-4ch-distsim", 4, 1000, 16, 0, rths.ClusterBackendDistsim, true},
 	}
 	if full {
-		specs = append(specs, clusterSpec{"cluster-scale-workers4", 100, 10000, 150, 4, rths.ClusterBackendMemory})
+		specs = append(specs, clusterSpec{"cluster-scale-workers4", 100, 10000, 150, 4, rths.ClusterBackendMemory, false})
 	}
 	return specs
 }
 
 // measureCluster runs `stages` steady-state stages of the multi-channel
 // cluster runtime (Markov switching on, flash crowds off) including the
-// epoch re-allocation boundaries that fall inside the window.
+// epoch re-allocation boundaries that fall inside the window. Churn
+// scenarios replay a generated workload over the measured window (trace
+// generation itself is excluded from the timing).
 func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
 	sc := rths.ClusterSmall()
 	sc.Channels, sc.TotalPeers, sc.Helpers, sc.Workers = spec.channels, spec.peers, spec.helpers, spec.workers
 	sc.Backend = spec.backend
 	sc.EpochStages = 25
 	sc.FlashPeers = 0
+	if spec.churn {
+		// ~4 arrivals/stage against an N=1k audience: every stage applies
+		// churn events, while the short lifetime caps the steady-state
+		// replayed audience at ~200 extra viewers so the row stays
+		// comparable to its churn-free sibling.
+		sc.ChurnArrivalRate = 4
+		sc.ChurnMeanLifetime = 50
+		sc.ChurnSwitchRate = 0.002
+		sc.ChurnSeed = 7
+	}
 	cfg, err := sc.Build()
 	if err != nil {
 		return ClusterResult{}, fmt.Errorf("%s: %w", spec.name, err)
@@ -199,8 +219,21 @@ func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
 	}
 	epochs := (stages + sc.EpochStages - 1) / sc.EpochStages
 	measured := epochs * sc.EpochStages
+	var workload *rths.Workload
+	if spec.churn {
+		sc.Epochs = epochs // horizon = the measured window
+		workload, err = sc.Workload()
+		if err != nil {
+			return ClusterResult{}, fmt.Errorf("%s workload: %w", spec.name, err)
+		}
+	}
 	start := time.Now()
-	if err := c.Run(epochs, nil); err != nil {
+	if workload != nil {
+		err = c.Replay(workload, measured, nil)
+	} else {
+		err = c.Run(epochs, nil)
+	}
+	if err != nil {
 		return ClusterResult{}, fmt.Errorf("%s: %w", spec.name, err)
 	}
 	elapsed := time.Since(start)

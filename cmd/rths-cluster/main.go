@@ -9,12 +9,20 @@
 //	rths-cluster -preset scale -workers 4 -epochs 8
 //	rths-cluster -channels 20 -peers 2000 -helpers 40 -alloc greedy
 //	rths-cluster -preset small -backend distsim
+//	rths-cluster -preset churn
+//	rths-cluster -preset small -churn-arrival 2 -churn-lifetime 50 -churn-switch 0.01
+//
+// With a churn workload configured (-preset churn, or -churn-arrival > 0)
+// the run replays a generated Poisson/Zipf viewer trace through the
+// cluster engine — joins, departures and channel zaps applied stage by
+// stage, composing with the resident Markov switching, flash crowds and
+// re-allocation epochs — and emits the same per-epoch JSON records.
 //
 // A fixed (-seed) run is bit-reproducible for every -workers value: the
 // parallelism is across channels, which never share a random stream. With
 // -backend distsim the same scenario runs on the batched message-passing
 // runtime (one node per channel manager and per helper) and emits the
-// same metrics bit-for-bit.
+// same metrics bit-for-bit — replayed workloads included.
 package main
 
 import (
@@ -71,6 +79,9 @@ func run(args []string, out, errOut io.Writer) error {
 	epochStages := fs.Int("epoch-stages", 0, "override stages per re-allocation epoch")
 	switchProb := fs.Float64("switch-prob", -1, "override per-stage viewer zap probability (0 disables)")
 	flashPeers := fs.Int("flash-peers", -1, "override flash-crowd size (0 disables)")
+	churnArrival := fs.Float64("churn-arrival", -1, "override trace-replay arrivals per stage (0 disables replay)")
+	churnLifetime := fs.Float64("churn-lifetime", -1, "override replayed viewers' mean session length in stages")
+	churnSwitch := fs.Float64("churn-switch", -1, "override replayed viewers' per-stage zap probability")
 	allocName := fs.String("alloc", "", "allocator: greedy, proportional or static")
 	backendName := fs.String("backend", "", "execution backend: memory or distsim")
 	workers := fs.Int("workers", -1, "override channel-stepping worker count")
@@ -85,8 +96,10 @@ func run(args []string, out, errOut io.Writer) error {
 		sc = rths.ClusterSmall()
 	case "scale":
 		sc = rths.ClusterScale()
+	case "churn":
+		sc = rths.ClusterChurn()
 	default:
-		return fmt.Errorf("unknown preset %q (small, scale)", *preset)
+		return fmt.Errorf("unknown preset %q (small, scale, churn)", *preset)
 	}
 	if *channels > 0 {
 		sc.Channels = *channels
@@ -114,6 +127,18 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	if *flashPeers >= 0 {
 		sc.FlashPeers = *flashPeers
+	}
+	if *churnArrival >= 0 {
+		sc.ChurnArrivalRate = *churnArrival
+	}
+	if *churnLifetime >= 0 {
+		sc.ChurnMeanLifetime = *churnLifetime
+	}
+	if *churnSwitch >= 0 {
+		sc.ChurnSwitchRate = *churnSwitch
+	}
+	if sc.ChurnArrivalRate > 0 && sc.ChurnMeanLifetime <= 0 {
+		sc.ChurnMeanLifetime = 60
 	}
 	if *allocName != "" {
 		kind, err := parseAllocator(*allocName)
@@ -147,25 +172,38 @@ func run(args []string, out, errOut io.Writer) error {
 	defer c.Close()
 	enc := json.NewEncoder(out)
 	var encErr error
-	var moves, switches, joins int
+	var moves, switches, joins, leaves int
 	var lastRatio, lastContinuity, lastMaxDef float64
-	if err := c.Run(sc.Epochs, func(m rths.ClusterEpochMetrics) {
+	observe := func(m rths.ClusterEpochMetrics) {
 		if e := enc.Encode(m); e != nil && encErr == nil {
 			encErr = e
 		}
 		moves += m.Moves
 		switches += m.Switches
 		joins += m.Joins
+		leaves += m.Leaves
 		lastRatio, lastContinuity, lastMaxDef = m.WelfareRatio, m.Continuity, m.MaxDeficit
-	}); err != nil {
+	}
+	mode := "epochs"
+	if w, err := sc.Workload(); err != nil {
+		return err
+	} else if w != nil {
+		// Trace-replay churn: the workload's joins/leaves/switches are
+		// applied stage by stage, composing with the scenario's resident
+		// dynamics and re-allocation boundaries.
+		mode = "replay"
+		if err := c.Replay(w, sc.Horizon(), observe); err != nil {
+			return err
+		}
+	} else if err := c.Run(sc.Epochs, observe); err != nil {
 		return err
 	}
 	if encErr != nil {
 		return encErr
 	}
 	fmt.Fprintf(errOut,
-		"cluster: %d channels × %d viewers, %d helpers, alloc=%v backend=%v workers=%d | %d epochs × %d stages | moves=%d switches=%d joins=%d | final welfare_ratio=%.4f continuity=%.4f max_deficit=%.0f kbps\n",
-		c.NumChannels(), c.ActivePeers(), c.NumHelpers(), sc.Allocator, sc.Backend, sc.Workers,
-		c.Epoch(), sc.EpochStages, moves, switches, joins, lastRatio, lastContinuity, lastMaxDef)
+		"cluster: %d channels × %d viewers, %d helpers, alloc=%v backend=%v workers=%d mode=%s | %d epochs × %d stages | moves=%d switches=%d joins=%d leaves=%d | final welfare_ratio=%.4f continuity=%.4f max_deficit=%.0f kbps\n",
+		c.NumChannels(), c.ActivePeers(), c.NumHelpers(), sc.Allocator, sc.Backend, sc.Workers, mode,
+		c.Epoch(), sc.EpochStages, moves, switches, joins, leaves, lastRatio, lastContinuity, lastMaxDef)
 	return nil
 }

@@ -66,6 +66,53 @@ func TestRunBackendsBitIdentical(t *testing.T) {
 	}
 }
 
+// TestRunChurnReplayEmitsEpochJSON drives the trace-replay mode end to
+// end: the churn preset must emit decodable per-epoch records with actual
+// replayed joins and leaves, and report the replay mode in the summary.
+func TestRunChurnReplayEmitsEpochJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "churn", "-epochs", "3"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines, joins, leaves := 0, 0, 0
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var m rths.ClusterEpochMetrics
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		joins += m.Joins
+		leaves += m.Leaves
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("emitted %d epoch records, want 3", lines)
+	}
+	if joins == 0 || leaves == 0 {
+		t.Fatalf("replay inert: %d joins, %d leaves", joins, leaves)
+	}
+	if !strings.Contains(errOut.String(), "mode=replay") {
+		t.Fatalf("summary missing replay mode: %q", errOut.String())
+	}
+}
+
+// TestRunChurnReplayBackendsBitIdentical extends the CLI parity pin to the
+// replay path: the distsim backend must emit exactly the JSON the
+// shared-memory backend emits for the same churn preset.
+func TestRunChurnReplayBackendsBitIdentical(t *testing.T) {
+	emit := func(backend string) string {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-preset", "churn", "-epochs", "2", "-backend", backend}, &out, &errOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if mem, dist := emit("memory"), emit("distsim"); mem != dist {
+		t.Fatalf("backend changed the replay metrics:\n%s\nvs\n%s", mem, dist)
+	}
+}
+
 func TestRunAllocators(t *testing.T) {
 	for _, name := range []string{"greedy", "proportional", "static"} {
 		var out, errOut bytes.Buffer

@@ -1,101 +1,81 @@
-// Churn: peers join and leave under a Poisson/Zipf workload while RTHS
-// keeps re-balancing. Demonstrates trace generation, replay through the
-// multi-channel overlay, and playback continuity as the QoE readout.
+// Churn: viewers join, leave and zap channels under a replayable
+// Poisson/Zipf workload while RTHS keeps re-balancing inside every channel
+// and helper re-allocation epochs chase the shifting audience across
+// channels. Demonstrates trace generation, replay through the cluster
+// runtime (the engine behind rths-cluster), and per-epoch welfare /
+// continuity as the QoE readout.
 package main
 
 import (
 	"fmt"
 	"log"
-	"sort"
 
 	"rths"
 )
 
 func main() {
 	const (
-		horizon = 2000
-		bitrate = 300.0
+		channels    = 4
+		epochStages = 50
+		epochs      = 8
+		horizon     = epochStages * epochs
+		bitrate     = 300.0
 	)
 	workload, err := rths.GenerateChurn(rths.ChurnConfig{
 		Horizon:      horizon,
-		ArrivalRate:  0.05, // one arrival every ~20 stages
-		MeanLifetime: 400,
-		Channels:     2,
+		ArrivalRate:  0.4, // ~160 arrivals over the run
+		MeanLifetime: 120,
+		Channels:     channels,
 		ZipfS:        1,
-		SwitchRate:   0.002,
+		SwitchRate:   0.005,
 		Seed:         11,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The overlay pre-seeds peers with global ids 0..11; shift the trace's
-	// ids past them.
-	workload.OffsetPeerIDs(1000)
+	// The cluster pre-seeds viewers with low global ids (and flash crowds,
+	// if configured, allocate more); shift the trace's ids well past them.
+	workload.OffsetPeerIDs(1 << 20)
 	fmt.Printf("workload: %d events, peak audience %d, final audience %d\n",
 		len(workload.Events), workload.Peak, workload.FinalActive)
 
-	mk := func(n int) []rths.HelperSpec {
-		hs := make([]rths.HelperSpec, n)
-		for j := range hs {
-			hs[j] = rths.DefaultHelperSpec()
-		}
-		return hs
+	// A Zipf(1) initial audience over a shared helper pool: the adaptive
+	// allocator re-assigns helpers between channels every epochStages
+	// stages as the replayed churn shifts demand.
+	specs, err := rths.ZipfChannels(channels, 48, 1, bitrate)
+	if err != nil {
+		log.Fatal(err)
 	}
-	multi, err := rths.NewMultiChannel(rths.MultiChannelConfig{
-		Channels: []rths.ChannelConfig{
-			{Name: "main", Bitrate: bitrate, Helpers: mk(4), InitialPeers: 8},
-			{Name: "alt", Bitrate: bitrate, Helpers: mk(2), InitialPeers: 4},
-		},
-		Seed: 3,
+	c, err := rths.NewCluster(rths.ClusterConfig{
+		Channels:    specs,
+		Helpers:     rths.UniformHelpers(24, rths.DefaultHelperSpec()),
+		Allocator:   rths.ClusterAllocGreedy,
+		EpochStages: epochStages,
+		Hysteresis:  400,
+		Seed:        3,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer c.Close()
 
-	// One playout buffer per global peer, created on first sight. Peers
-	// watch at the channel bitrate with a 2-stage startup buffer.
-	buffers := map[int]*rths.Buffer{}
-	minAudience, maxAudience := 1<<31, 0
-	err = multi.Replay(workload, horizon, func(res rths.MultiChannelResult) {
-		if res.ActivePeers < minAudience {
-			minAudience = res.ActivePeers
+	minAudience, maxAudience := c.ActivePeers(), c.ActivePeers()
+	totalMoves := 0
+	err = c.Replay(workload, horizon, func(m rths.ClusterEpochMetrics) {
+		if m.ActivePeers < minAudience {
+			minAudience = m.ActivePeers
 		}
-		if res.ActivePeers > maxAudience {
-			maxAudience = res.ActivePeers
+		if m.ActivePeers > maxAudience {
+			maxAudience = m.ActivePeers
 		}
-		for _, ch := range res.Channels {
-			for i, peerID := range ch.PeerIDs {
-				buf := buffers[peerID]
-				if buf == nil {
-					var err error
-					buf, err = rths.NewBuffer(bitrate, 2)
-					if err != nil {
-						log.Fatal(err)
-					}
-					buffers[peerID] = buf
-				}
-				if _, err := buf.Tick(ch.Result.Rates[i]); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}
+		totalMoves += m.Moves
+		fmt.Printf("epoch %d: audience %3d (+%d/-%d, %d zaps)  welfare %.3f  continuity %.3f  helper moves %d\n",
+			m.Epoch, m.ActivePeers, m.Joins, m.Leaves, m.Switches,
+			m.WelfareRatio, m.Continuity, m.Moves)
 	})
 	if err != nil {
 		log.Fatal(err)
-	}
-
-	// Continuity distribution across everyone who ever watched.
-	continuities := make([]float64, 0, len(buffers))
-	for _, b := range buffers {
-		continuities = append(continuities, b.Continuity())
-	}
-	sort.Float64s(continuities)
-	pct := func(p float64) float64 {
-		idx := int(p * float64(len(continuities)-1))
-		return continuities[idx]
 	}
 	fmt.Printf("audience range over the run: %d..%d concurrent viewers\n", minAudience, maxAudience)
-	fmt.Printf("viewers with playback history: %d\n", len(continuities))
-	fmt.Printf("playback continuity: p10 %.3f  median %.3f  p90 %.3f\n",
-		pct(0.10), pct(0.50), pct(0.90))
+	fmt.Printf("helpers migrated across channels: %d\n", totalMoves)
 }

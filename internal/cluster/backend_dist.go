@@ -14,7 +14,8 @@ import (
 // latency/drop the per-epoch metrics are bit-identical (pinned by
 // TestDistsimBackendBitIdentical).
 type distBackend struct {
-	rt *distsim.Runtime
+	rt   *distsim.Runtime
+	last *distsim.RoundStats // most recent round view (reused by the runtime)
 }
 
 func newDistBackend(cfg Config, assign []int, seeds []uint64, scale, startup float64) (*distBackend, error) {
@@ -58,6 +59,7 @@ func (b *distBackend) step(out []stageData) error {
 	if err != nil {
 		return err
 	}
+	b.last = stats
 	for ci := range out {
 		ch := &stats.Channels[ci]
 		out[ci] = stageData{
@@ -70,6 +72,26 @@ func (b *distBackend) step(out []stageData) error {
 		}
 	}
 	return nil
+}
+
+// lastResult rebuilds the core.StageResult view from the channel's round
+// report (the managers run core's exact arithmetic, so the fields map 1:1).
+func (b *distBackend) lastResult(ci int) core.StageResult {
+	if b.last == nil {
+		return core.StageResult{}
+	}
+	ch := &b.last.Channels[ci]
+	return core.StageResult{
+		Stage:      b.last.Round,
+		Actions:    ch.Actions,
+		Loads:      ch.Loads,
+		Capacities: ch.Capacities,
+		Rates:      ch.Rates,
+		Welfare:    ch.Welfare,
+		OptWelfare: ch.OptWelfare,
+		ServerLoad: ch.ServerLoad,
+		MinDeficit: ch.MinDeficit,
+	}
 }
 
 func (b *distBackend) close() error { return b.rt.Close() }

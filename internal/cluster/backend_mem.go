@@ -16,6 +16,7 @@ type memChannel struct {
 	bitrate float64
 	sys     *core.System
 	bufs    []*streaming.Buffer
+	last    core.StageResult // most recent stage view (aliases sys buffers)
 	err     error
 }
 
@@ -142,6 +143,8 @@ func (b *memBackend) step(out []stageData) error {
 	return nil
 }
 
+func (b *memBackend) lastResult(ci int) core.StageResult { return b.channels[ci].last }
+
 func (b *memBackend) close() error { return nil }
 
 // step advances one channel one stage and fills its per-stage output slot.
@@ -152,6 +155,7 @@ func (st *memChannel) step(out *stageData) {
 		st.err = err
 		return
 	}
+	st.last = res
 	*out = stageData{
 		welfare:    res.Welfare,
 		opt:        res.OptWelfare,

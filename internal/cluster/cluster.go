@@ -18,6 +18,14 @@
 //     value AND for both backends at zero link latency/drop (pinned by
 //     TestDeterministicAcrossWorkers and TestDistsimBackendBitIdentical).
 //
+//   - The churn surface addresses viewers by global id: Join/Leave/Switch
+//     (and Apply for trace events) mutate membership between stages, and
+//     Replay/ReplayTotals drive a whole trace.Workload through the engine —
+//     each stage's events applied before the stage steps — so replayed
+//     workloads compose with flash crowds, Markov switching, re-allocation
+//     epochs, the Workers pool, and both backends (distsim executes the
+//     ops as queued control messages applied at the next round).
+//
 //   - The epoch loop fires every EpochStages stages: per-channel demands
 //     (audience × bitrate) are measured, the configured allocator proposes
 //     a new helper→channel assignment, and if it beats the current one by
@@ -41,6 +49,7 @@ import (
 	"rths/internal/alloc"
 	"rths/internal/core"
 	"rths/internal/markov"
+	"rths/internal/trace"
 	"rths/internal/xrand"
 )
 
@@ -135,6 +144,13 @@ type Config struct {
 	// Helpers is the shared global pool; len >= len(Channels) so that every
 	// channel can always hold at least one helper.
 	Helpers []core.HelperSpec
+	// InitialAssign, when non-nil, overrides the allocator's initial
+	// helper→channel assignment: InitialAssign[h] is helper h's starting
+	// channel. It must cover every channel with at least one helper.
+	// Combined with AllocStatic this freezes dedicated per-channel pools —
+	// the configuration the overlay compatibility wrapper runs on; with an
+	// adaptive allocator it merely seeds the first epoch's assignment.
+	InitialAssign []int
 	// Allocator picks the re-allocation policy (default AllocGreedy).
 	Allocator AllocatorKind
 	// Backend picks the execution backend (default BackendMemory). With
@@ -178,8 +194,10 @@ type Config struct {
 // so a fixed Seed yields bit-identical values for every Workers count and
 // for both execution backends (at zero link latency/drop).
 type EpochMetrics struct {
-	// Epoch is the 0-based epoch index; the epoch covers Stages stages
-	// ending at stage (Epoch+1)*Stages.
+	// Epoch is the 0-based epoch index; the epoch covers the Stages stages
+	// since the previous boundary. Stages equals Config.EpochStages except
+	// for a trailing partial epoch flushed by Replay, which reports its
+	// actual length.
 	Epoch  int `json:"epoch"`
 	Stages int `json:"stages"`
 	// ActivePeers is the audience size at the epoch boundary.
@@ -202,10 +220,13 @@ type EpochMetrics struct {
 	MaxDeficit float64 `json:"max_deficit"`
 	// Moves is the number of helpers migrated at this epoch's boundary.
 	Moves int `json:"helper_moves"`
-	// Switches is the number of viewer channel switches during the epoch.
+	// Switches is the number of viewer channel switches during the epoch
+	// (Markov zapping and replayed trace switches alike).
 	Switches int `json:"viewer_switches"`
 	// Joins is the number of viewers that joined during the epoch.
 	Joins int `json:"viewer_joins"`
+	// Leaves is the number of viewers that departed during the epoch.
+	Leaves int `json:"viewer_leaves"`
 }
 
 type location struct {
@@ -257,6 +278,10 @@ type backend interface {
 	removeHelper(ci, local, id int) error
 	// step advances every channel one stage, filling out[ci].
 	step(out []stageData) error
+	// lastResult returns channel ci's most recent per-stage view. The
+	// slices alias backend buffers that the next step overwrites — clone to
+	// retain.
+	lastResult(ci int) core.StageResult
 	// close releases backend resources (joins node goroutines on distsim).
 	close() error
 }
@@ -299,9 +324,15 @@ type Cluster struct {
 	epoch  int
 	nextID int
 
+	// stagesInEpoch counts stages since the last boundary, so partial
+	// epochs (a Replay horizon that does not divide EpochStages) report
+	// honest per-stage means.
+	stagesInEpoch int
+
 	// Per-epoch event counters.
 	switches int
 	joins    int
+	leaves   int
 
 	// Per-channel epoch accumulators and per-stage scratch.
 	acc     []stageData
@@ -393,11 +424,31 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.demands[ci] = alloc.Channel{Name: ch.Name, Demand: float64(ch.InitialPeers) * ch.Bitrate}
 	}
-	assign, err := c.propose()
-	if err != nil {
-		return nil, fmt.Errorf("cluster: initial allocation: %w", err)
+	if cfg.InitialAssign != nil {
+		if len(cfg.InitialAssign) != len(cfg.Helpers) {
+			return nil, fmt.Errorf("cluster: InitialAssign covers %d of %d helpers",
+				len(cfg.InitialAssign), len(cfg.Helpers))
+		}
+		covered := make([]int, len(cfg.Channels))
+		for h, ci := range cfg.InitialAssign {
+			if ci < 0 || ci >= len(cfg.Channels) {
+				return nil, fmt.Errorf("cluster: InitialAssign[%d]=%d of %d channels", h, ci, len(cfg.Channels))
+			}
+			covered[ci]++
+		}
+		for ci, n := range covered {
+			if n == 0 {
+				return nil, fmt.Errorf("cluster: InitialAssign leaves channel %q without helpers", cfg.Channels[ci].Name)
+			}
+		}
+		c.assign = append(alloc.Assignment(nil), cfg.InitialAssign...)
+	} else {
+		assign, err := c.propose()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: initial allocation: %w", err)
+		}
+		c.assign = assign
 	}
-	c.assign = assign
 
 	// Director bookkeeping. The RNG budget is drawn in a fixed order
 	// (viewer stream first, then one seed per channel), so construction is
@@ -426,6 +477,7 @@ func New(cfg Config) (*Cluster, error) {
 	c.acc = make([]stageData, len(cfg.Channels))
 	c.scratch = make([]stageData, len(cfg.Channels))
 
+	var err error
 	switch cfg.Backend {
 	case BackendDistsim:
 		c.backend, err = newDistBackend(cfg, c.assign, seeds, scale, c.startup)
@@ -486,6 +538,25 @@ func (c *Cluster) ChannelAudience(ci int) int { return len(c.channels[ci].peerID
 
 // ChannelPool returns the number of helpers currently assigned to channel ci.
 func (c *Cluster) ChannelPool(ci int) int { return len(c.channels[ci].helperIDs) }
+
+// ChannelName returns channel ci's configured name.
+func (c *Cluster) ChannelName(ci int) string { return c.channels[ci].name }
+
+// ChannelBitrate returns channel ci's media bitrate (kbps).
+func (c *Cluster) ChannelBitrate(ci int) float64 { return c.channels[ci].bitrate }
+
+// ChannelPeerIDs returns the global viewer ids watching channel ci,
+// parallel to the channel's local peer indices. The slice aliases director
+// state that membership operations rewrite — clone to retain.
+func (c *Cluster) ChannelPeerIDs(ci int) []int { return c.channels[ci].peerIDs }
+
+// ChannelStageResult returns channel ci's most recent per-stage view (the
+// per-peer actions and rates behind the StageTotals aggregates). The
+// slices alias backend buffers overwritten by the next stage — call
+// core.StageResult.Clone to retain one.
+func (c *Cluster) ChannelStageResult(ci int) core.StageResult {
+	return c.backend.lastResult(ci)
+}
 
 // Stage returns the number of completed stages.
 func (c *Cluster) Stage() int { return c.stage }
@@ -644,7 +715,46 @@ func (c *Cluster) step() error {
 		c.acc[ci].accumulate(c.scratch[ci])
 	}
 	c.stage++
+	c.stagesInEpoch++
 	return nil
+}
+
+// StageTotals is the aggregate-only view of one stage: channel-order sums
+// of the per-channel observables. StepStage fills one without allocating,
+// which is what long replays over many channels want.
+type StageTotals struct {
+	Welfare    float64
+	OptWelfare float64
+	ServerLoad float64
+	MinDeficit float64
+	// Played and Stalled count playout-buffer ticks across all viewers.
+	Played  int
+	Stalled int
+	// ActivePeers is the audience size after the stage.
+	ActivePeers int
+}
+
+// StepStage advances every channel one stage — scenario events (flash
+// crowds, Markov switching) first, then the backend's channel-stepping
+// phase — and returns the stage's aggregate totals, reduced in channel
+// order. It is the per-stage face of the engine (RunEpoch drives the same
+// loop); epoch boundaries do not run here, so callers composing replay
+// with re-allocation should use Replay/RunEpoch instead.
+func (c *Cluster) StepStage() (StageTotals, error) {
+	if err := c.step(); err != nil {
+		return StageTotals{}, err
+	}
+	t := StageTotals{ActivePeers: len(c.byPeer)}
+	for ci := range c.scratch {
+		s := &c.scratch[ci]
+		t.Welfare += s.welfare
+		t.OptWelfare += s.opt
+		t.ServerLoad += s.serverLoad
+		t.MinDeficit += s.minDeficit
+		t.Played += s.played
+		t.Stalled += s.stalled
+	}
+	return t, nil
 }
 
 // boundary reduces the epoch metrics in channel order, runs the
@@ -670,18 +780,22 @@ func (c *Cluster) boundary() (EpochMetrics, error) {
 	if err != nil {
 		return EpochMetrics{}, fmt.Errorf("cluster: epoch deficit: %w", err)
 	}
+	n := c.stagesInEpoch
 	m := EpochMetrics{
-		Epoch:          c.epoch,
-		Stages:         c.epochStages,
-		ActivePeers:    len(c.byPeer),
-		WelfareRatio:   1,
-		MeanServerLoad: serverLoad / float64(c.epochStages),
-		MeanMinDeficit: minDeficit / float64(c.epochStages),
-		Continuity:     1,
-		MaxDeficit:     maxDef,
-		Moves:          moves,
-		Switches:       c.switches,
-		Joins:          c.joins,
+		Epoch:        c.epoch,
+		Stages:       n,
+		ActivePeers:  len(c.byPeer),
+		WelfareRatio: 1,
+		Continuity:   1,
+		MaxDeficit:   maxDef,
+		Moves:        moves,
+		Switches:     c.switches,
+		Joins:        c.joins,
+		Leaves:       c.leaves,
+	}
+	if n > 0 {
+		m.MeanServerLoad = serverLoad / float64(n)
+		m.MeanMinDeficit = minDeficit / float64(n)
 	}
 	if opt > 0 {
 		m.WelfareRatio = welfare / opt
@@ -689,7 +803,8 @@ func (c *Cluster) boundary() (EpochMetrics, error) {
 	if played+stalled > 0 {
 		m.Continuity = float64(played) / float64(played+stalled)
 	}
-	c.switches, c.joins = 0, 0
+	c.switches, c.joins, c.leaves = 0, 0, 0
+	c.stagesInEpoch = 0
 	c.epoch++
 	return m, nil
 }
@@ -813,20 +928,195 @@ func (c *Cluster) migrate(next alloc.Assignment) (int, error) {
 	return moves, nil
 }
 
-// join adds a fresh viewer to channel ci with a new learner and an empty
-// playout buffer.
+// join adds a fresh viewer to channel ci — the flash-crowd path. It
+// allocates the lowest global id not currently active, skipping ids a
+// replayed workload occupies, so scenario joins and trace joins compose
+// without colliding (replays should still offset their ids above the
+// initial audience plus expected scenario churn, see
+// trace.Workload.OffsetPeerIDs).
 func (c *Cluster) join(ci int) error {
+	for {
+		if _, taken := c.byPeer[c.nextID]; !taken {
+			break
+		}
+		c.nextID++
+	}
+	id := c.nextID
+	c.nextID++
+	return c.Join(id, ci)
+}
+
+// Join adds the (new) global viewer id to channel ci with the channel
+// bitrate as demand, a factory-built selection policy, and an empty playout
+// buffer. Ids need not be contiguous: replayed workloads bring their own id
+// space (see trace.Workload.OffsetPeerIDs), while scenario joins (flash
+// crowds) allocate low ids of their own.
+func (c *Cluster) Join(peerID, ci int) error {
+	if _, exists := c.byPeer[peerID]; exists {
+		return fmt.Errorf("cluster: viewer %d already active", peerID)
+	}
+	if ci < 0 || ci >= len(c.channels) {
+		return fmt.Errorf("cluster: channel %d out of range", ci)
+	}
 	st := c.channels[ci]
 	if err := c.backend.addPeer(ci); err != nil {
 		return fmt.Errorf("cluster: join channel %q: %w", st.name, err)
 	}
-	id := c.nextID
-	c.nextID++
-	c.byPeer[id] = location{channel: ci, local: len(st.peerIDs)}
-	st.peerIDs = append(st.peerIDs, id)
-	c.viewerIDs = append(c.viewerIDs, id)
+	c.byPeer[peerID] = location{channel: ci, local: len(st.peerIDs)}
+	st.peerIDs = append(st.peerIDs, peerID)
+	c.insertViewer(peerID)
 	c.joins++
 	return nil
+}
+
+// Leave removes the global viewer from the system.
+func (c *Cluster) Leave(peerID int) error {
+	loc, ok := c.byPeer[peerID]
+	if !ok {
+		return fmt.Errorf("cluster: viewer %d not active", peerID)
+	}
+	src := c.channels[loc.channel]
+	if err := c.backend.removePeer(loc.channel, loc.local); err != nil {
+		return fmt.Errorf("cluster: leave channel %q: %w", src.name, err)
+	}
+	src.peerIDs = append(src.peerIDs[:loc.local], src.peerIDs[loc.local+1:]...)
+	for i := loc.local; i < len(src.peerIDs); i++ {
+		c.byPeer[src.peerIDs[i]] = location{channel: loc.channel, local: i}
+	}
+	delete(c.byPeer, peerID)
+	c.removeViewer(peerID)
+	c.leaves++
+	return nil
+}
+
+// Switch moves the viewer to another channel (fresh selection state and
+// buffer, since both the helper pool and the bitrate change). The target
+// channel is validated *before* the viewer leaves its current one, so a
+// failed switch leaves membership untouched instead of dropping the viewer.
+func (c *Cluster) Switch(peerID, toChannel int) error {
+	loc, ok := c.byPeer[peerID]
+	if !ok {
+		return fmt.Errorf("cluster: viewer %d not active", peerID)
+	}
+	if toChannel < 0 || toChannel >= len(c.channels) {
+		return fmt.Errorf("cluster: channel %d out of range", toChannel)
+	}
+	if loc.channel == toChannel {
+		return nil
+	}
+	if err := c.move(peerID, toChannel); err != nil {
+		return err
+	}
+	c.switches++
+	return nil
+}
+
+// Apply replays one churn event through the global-id operations.
+func (c *Cluster) Apply(e trace.Event) error {
+	switch e.Kind {
+	case trace.Join:
+		return c.Join(e.PeerID, e.Channel)
+	case trace.Leave:
+		return c.Leave(e.PeerID)
+	case trace.Switch:
+		return c.Switch(e.PeerID, e.Channel)
+	default:
+		return fmt.Errorf("cluster: unknown event kind %v", e.Kind)
+	}
+}
+
+// Replay runs the workload to the horizon on the epoch loop: each stage's
+// events are applied (in trace order) before the stage steps, and every
+// EpochStages stages the re-allocation boundary fires and its metrics are
+// observed. A trailing partial epoch is flushed with Stages set to its
+// actual length. Events beyond the horizon are dropped (the
+// trace.Workload.PerStage contract), so a short replay simply truncates
+// the workload. Metrics are bit-identical for every Workers value and for
+// both backends at zero link latency/drop.
+func (c *Cluster) Replay(w *trace.Workload, horizon int, observe func(EpochMetrics)) error {
+	perStage := w.PerStage(horizon)
+	for s := 0; s < horizon; s++ {
+		for _, e := range perStage[s] {
+			if err := c.Apply(e); err != nil {
+				return fmt.Errorf("cluster: stage %d event %+v: %w", s, e, err)
+			}
+		}
+		if err := c.step(); err != nil {
+			return err
+		}
+		if c.stagesInEpoch >= c.epochStages {
+			m, err := c.boundary()
+			if err != nil {
+				return err
+			}
+			if observe != nil {
+				observe(m)
+			}
+		}
+	}
+	if c.stagesInEpoch > 0 {
+		m, err := c.boundary()
+		if err != nil {
+			return err
+		}
+		if observe != nil {
+			observe(m)
+		}
+	}
+	return nil
+}
+
+// ReplayTotals is Replay on the aggregate-only, per-stage path: each
+// stage's events are applied before the stage steps and the stage's
+// channel-order totals are observed. Re-allocation boundaries still fire
+// every EpochStages stages (their per-epoch metrics are simply not
+// observed), so the totals series reflects the same helper assignments the
+// epoch loop would produce.
+func (c *Cluster) ReplayTotals(w *trace.Workload, horizon int, observe func(StageTotals)) error {
+	perStage := w.PerStage(horizon)
+	for s := 0; s < horizon; s++ {
+		for _, e := range perStage[s] {
+			if err := c.Apply(e); err != nil {
+				return fmt.Errorf("cluster: stage %d event %+v: %w", s, e, err)
+			}
+		}
+		t, err := c.StepStage()
+		if err != nil {
+			return err
+		}
+		if observe != nil {
+			observe(t)
+		}
+		if c.stagesInEpoch >= c.epochStages {
+			if _, err := c.boundary(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// insertViewer adds id to the ascending viewer-id list (the deterministic
+// iteration order of the switching pass). Ids usually arrive in increasing
+// order, so the common case is an append.
+func (c *Cluster) insertViewer(id int) {
+	n := len(c.viewerIDs)
+	if n == 0 || c.viewerIDs[n-1] < id {
+		c.viewerIDs = append(c.viewerIDs, id)
+		return
+	}
+	at := sort.SearchInts(c.viewerIDs, id)
+	c.viewerIDs = append(c.viewerIDs, 0)
+	copy(c.viewerIDs[at+1:], c.viewerIDs[at:])
+	c.viewerIDs[at] = id
+}
+
+// removeViewer drops id from the ascending viewer-id list.
+func (c *Cluster) removeViewer(id int) {
+	at := sort.SearchInts(c.viewerIDs, id)
+	if at < len(c.viewerIDs) && c.viewerIDs[at] == id {
+		c.viewerIDs = append(c.viewerIDs[:at], c.viewerIDs[at+1:]...)
+	}
 }
 
 // move switches viewer id to channel `to`: selection state and buffer are

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"testing"
+
+	"rths/internal/cluster"
+	"rths/internal/trace"
+)
+
+func TestClusterChurnWorkload(t *testing.T) {
+	s := ClusterChurn()
+	w, err := s.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil || len(w.Events) == 0 {
+		t.Fatal("churn preset generated no workload")
+	}
+	for _, e := range w.Events {
+		if e.PeerID < ChurnIDBase {
+			t.Fatalf("event peer id %d below ChurnIDBase %d", e.PeerID, ChurnIDBase)
+		}
+		if e.Stage < 0 || e.Stage >= s.Horizon() {
+			t.Fatalf("event stage %d outside horizon %d", e.Stage, s.Horizon())
+		}
+		if e.Channel < 0 || e.Channel >= s.Channels {
+			t.Fatalf("event channel %d of %d", e.Channel, s.Channels)
+		}
+	}
+	// The same scenario regenerates the same workload.
+	w2, err := s.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Events) != len(w.Events) {
+		t.Fatalf("workload not deterministic: %d vs %d events", len(w2.Events), len(w.Events))
+	}
+	// A scenario without churn has no workload.
+	if w, err := ClusterSmall().Workload(); err != nil || w != nil {
+		t.Fatalf("churn-free scenario produced workload %v (err %v)", w, err)
+	}
+}
+
+func TestClusterChurnReplays(t *testing.T) {
+	s := ClusterChurn()
+	s.Epochs = 2
+	w, err := s.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var joins, leaves int
+	epochs := 0
+	if err := c.Replay(w, s.Horizon(), func(m cluster.EpochMetrics) {
+		joins += m.Joins
+		leaves += m.Leaves
+		epochs++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if epochs != s.Epochs {
+		t.Fatalf("observed %d epochs, want %d", epochs, s.Epochs)
+	}
+	if joins == 0 || leaves == 0 {
+		t.Fatalf("replay inert: %d joins, %d leaves", joins, leaves)
+	}
+	// Membership reconciles: initial audience plus net trace churn plus any
+	// flash-crowd joiners the scenario injected.
+	var net int
+	for _, e := range w.Events {
+		switch e.Kind {
+		case trace.Join:
+			net++
+		case trace.Leave:
+			net--
+		}
+	}
+	want := s.TotalPeers + net
+	if s.FlashPeers > 0 && s.FlashStage < s.Horizon() {
+		want += s.FlashPeers
+	}
+	if got := c.ActivePeers(); got != want {
+		t.Fatalf("final audience %d, want %d", got, want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"rths/internal/cluster"
 	"rths/internal/core"
+	"rths/internal/trace"
 )
 
 // ClusterScenario parameterizes the multi-channel cluster presets: Zipf
@@ -31,7 +32,24 @@ type ClusterScenario struct {
 	// FlashStage/FlashChannel/FlashPeers schedule the flash crowd
 	// (FlashPeers = 0 disables).
 	FlashStage, FlashChannel, FlashPeers int
-	Allocator                            cluster.AllocatorKind
+	// ChurnArrivalRate enables trace-replay churn: the expected number of
+	// replayed viewer arrivals per stage (0 disables; the scenario then
+	// runs the plain epoch loop). Replay composes with Markov switching,
+	// flash crowds and re-allocation epochs.
+	ChurnArrivalRate float64
+	// ChurnMeanLifetime is the replayed viewers' expected session length in
+	// stages.
+	ChurnMeanLifetime float64
+	// ChurnSwitchRate is the per-stage probability of a trace-generated
+	// zap for a replayed viewer. Once joined, replayed viewers are
+	// resident like any other, so with SwitchProb > 0 the engine's Markov
+	// zapping applies to them too — the effective per-stage zap rate of a
+	// replayed viewer is ChurnSwitchRate plus SwitchProb.
+	ChurnSwitchRate float64
+	// ChurnSeed drives workload generation (kept separate from Seed so the
+	// exogenous workload and the engine's internal streams never alias).
+	ChurnSeed uint64
+	Allocator cluster.AllocatorKind
 	// Backend selects the execution backend (shared-memory worker pool or
 	// the distsim message-passing runtime). With cluster.BackendDistsim,
 	// Close the built cluster to join its node goroutines.
@@ -89,6 +107,51 @@ func ClusterSmall() ClusterScenario {
 	s.FlashPeers = 60
 	s.Workers = 0
 	return s
+}
+
+// ClusterChurn is the trace-replay churn preset: the laptop-scale shape
+// driven by a replayable Poisson-arrival / exponential-lifetime /
+// channel-zapping workload (the paper's §V viewer model) through
+// Cluster.Replay, composing with the resident viewers' Markov switching,
+// the flash crowd, and the re-allocation epochs.
+func ClusterChurn() ClusterScenario {
+	s := ClusterSmall()
+	s.ChurnArrivalRate = 1.5
+	s.ChurnMeanLifetime = 60
+	s.ChurnSwitchRate = 0.01
+	s.ChurnSeed = 2
+	return s
+}
+
+// ChurnIDBase is the offset applied to replayed workload peer ids so they
+// sit far above anything the scenario layer (initial audiences, flash
+// crowds) allocates.
+const ChurnIDBase = 1 << 20
+
+// Horizon is the scenario's stage count (Epochs full epochs).
+func (s ClusterScenario) Horizon() int { return s.EpochStages * s.Epochs }
+
+// Workload generates the scenario's replayable churn trace over its
+// horizon, with peer ids offset by ChurnIDBase. It returns nil when
+// ChurnArrivalRate is zero (no replay workload configured).
+func (s ClusterScenario) Workload() (*trace.Workload, error) {
+	if s.ChurnArrivalRate <= 0 {
+		return nil, nil
+	}
+	w, err := trace.GenerateChurn(trace.ChurnConfig{
+		Horizon:      s.Horizon(),
+		ArrivalRate:  s.ChurnArrivalRate,
+		MeanLifetime: s.ChurnMeanLifetime,
+		Channels:     s.Channels,
+		ZipfS:        s.ZipfS,
+		SwitchRate:   s.ChurnSwitchRate,
+		Seed:         s.ChurnSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: churn workload: %w", err)
+	}
+	w.OffsetPeerIDs(ChurnIDBase)
+	return w, nil
 }
 
 // Build assembles the cluster config for the scenario.

@@ -1,16 +1,25 @@
 // Package overlay assembles the multi-channel system of the paper's title:
 // several live channels, each with its own helper pool and peer audience,
 // plus the peer-to-channel membership machinery (joins, departures, channel
-// switching) that the churn workloads from internal/trace replay. Each
-// channel overlay runs its own helper-selection game (a core.System); the
-// overlay layer routes peers between them and aggregates the system-wide
-// observables.
+// switching) that the churn workloads from internal/trace replay.
+//
+// Since the cluster runtime (internal/cluster) gained global-peer-id churn
+// operations, this package is a thin compatibility wrapper over it — the
+// same treatment internal/netsim received over internal/distsim. Each
+// overlay channel becomes a cluster channel whose dedicated helper pool is
+// frozen with an explicit initial assignment and the static allocator, so
+// the overlay's semantics (channel-private pools, no helper migration) are
+// preserved while the replay path gains the cluster engine's shard-parallel
+// stepping. Per-channel seeds come from the cluster's master-RNG Split
+// scheme, which replaced the old additive derivation (two overlays whose
+// seeds differed by the derivation constant shared channel RNG streams).
 package overlay
 
 import (
 	"errors"
 	"fmt"
 
+	"rths/internal/cluster"
 	"rths/internal/core"
 	"rths/internal/trace"
 )
@@ -32,26 +41,18 @@ type Config struct {
 	Channels []ChannelConfig
 	// Factory builds selection policies (nil = RTHS learners).
 	Factory core.SelectorFactory
-	// Seed drives all channel systems (each gets a derived seed).
+	// Seed drives all channel systems (each gets a seed drawn from a master
+	// stream, so distinct master seeds yield unrelated channel streams).
 	Seed uint64
+	// Workers sizes the channel-stepping worker pool (0 or 1 steps
+	// serially). Results are bit-identical for every Workers value.
+	Workers int
 }
 
-// Multi is a running multi-channel system.
+// Multi is a running multi-channel system, backed by the cluster engine
+// with a frozen per-channel helper assignment.
 type Multi struct {
-	channels []*channelState
-	byPeer   map[int]location // global peer id -> where it lives
-}
-
-type channelState struct {
-	name    string
-	bitrate float64
-	sys     *core.System
-	peerIDs []int // parallel to the system's peer indices
-}
-
-type location struct {
-	channel int
-	local   int
+	c *cluster.Cluster
 }
 
 // ChannelResult is one channel's view of a completed stage.
@@ -77,13 +78,17 @@ type StepResult struct {
 	ActivePeers int
 }
 
-// New builds the multi-channel system.
+// New builds the multi-channel system on the cluster engine: the channels'
+// dedicated pools are concatenated into the global pool and pinned with an
+// explicit initial assignment plus the static allocator, so no helper ever
+// migrates between overlay channels.
 func New(cfg Config) (*Multi, error) {
 	if len(cfg.Channels) == 0 {
 		return nil, errors.New("overlay: no channels")
 	}
-	m := &Multi{byPeer: make(map[int]location)}
-	nextGlobal := 0
+	specs := make([]cluster.ChannelSpec, len(cfg.Channels))
+	var pool []core.HelperSpec
+	var assign []int
 	for ci, ch := range cfg.Channels {
 		if ch.Bitrate <= 0 {
 			return nil, fmt.Errorf("overlay: channel %q bitrate %g", ch.Name, ch.Bitrate)
@@ -91,107 +96,55 @@ func New(cfg Config) (*Multi, error) {
 		if ch.InitialPeers < 0 {
 			return nil, fmt.Errorf("overlay: channel %q initial peers %d", ch.Name, ch.InitialPeers)
 		}
-		sys, err := core.New(core.Config{
-			NumPeers:      ch.InitialPeers,
-			Helpers:       ch.Helpers,
-			Factory:       cfg.Factory,
-			Seed:          cfg.Seed + uint64(ci)*0x9e3779b97f4a7c15,
-			DemandPerPeer: ch.Bitrate,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("overlay: channel %q: %w", ch.Name, err)
+		if len(ch.Helpers) == 0 {
+			return nil, fmt.Errorf("overlay: channel %q has no helpers", ch.Name)
 		}
-		st := &channelState{name: ch.Name, bitrate: ch.Bitrate, sys: sys}
-		for i := 0; i < ch.InitialPeers; i++ {
-			st.peerIDs = append(st.peerIDs, nextGlobal)
-			m.byPeer[nextGlobal] = location{channel: ci, local: i}
-			nextGlobal++
+		specs[ci] = cluster.ChannelSpec{Name: ch.Name, Bitrate: ch.Bitrate, InitialPeers: ch.InitialPeers}
+		for _, h := range ch.Helpers {
+			pool = append(pool, h)
+			assign = append(assign, ci)
 		}
-		m.channels = append(m.channels, st)
 	}
-	return m, nil
+	c, err := cluster.New(cluster.Config{
+		Channels:      specs,
+		Helpers:       pool,
+		InitialAssign: assign,
+		Allocator:     cluster.AllocStatic,
+		Factory:       cfg.Factory,
+		Workers:       cfg.Workers,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("overlay: %w", err)
+	}
+	return &Multi{c: c}, nil
 }
 
 // NumChannels returns the channel count.
-func (m *Multi) NumChannels() int { return len(m.channels) }
+func (m *Multi) NumChannels() int { return m.c.NumChannels() }
 
 // ActivePeers returns the total audience size.
-func (m *Multi) ActivePeers() int { return len(m.byPeer) }
+func (m *Multi) ActivePeers() int { return m.c.ActivePeers() }
 
 // ChannelAudience returns the number of peers watching channel ci.
-func (m *Multi) ChannelAudience(ci int) int { return len(m.channels[ci].peerIDs) }
+func (m *Multi) ChannelAudience(ci int) int { return m.c.ChannelAudience(ci) }
 
 // Join adds the (new) global peer to channel ci with the channel bitrate as
 // demand; the selection policy comes from the channel system's factory
 // default (RTHS unless configured otherwise).
-func (m *Multi) Join(peerID, ci int) error {
-	if _, exists := m.byPeer[peerID]; exists {
-		return fmt.Errorf("overlay: peer %d already active", peerID)
-	}
-	if ci < 0 || ci >= len(m.channels) {
-		return fmt.Errorf("overlay: channel %d out of range", ci)
-	}
-	st := m.channels[ci]
-	local, err := st.sys.AddPeer(nil, st.bitrate)
-	if err != nil {
-		return fmt.Errorf("overlay: join channel %q: %w", st.name, err)
-	}
-	st.peerIDs = append(st.peerIDs, peerID)
-	if len(st.peerIDs) != local+1 {
-		return fmt.Errorf("overlay: channel %q index skew: %d ids vs local %d", st.name, len(st.peerIDs), local)
-	}
-	m.byPeer[peerID] = location{channel: ci, local: local}
-	return nil
-}
+func (m *Multi) Join(peerID, ci int) error { return m.c.Join(peerID, ci) }
 
 // Leave removes the global peer from the system.
-func (m *Multi) Leave(peerID int) error {
-	loc, ok := m.byPeer[peerID]
-	if !ok {
-		return fmt.Errorf("overlay: peer %d not active", peerID)
-	}
-	st := m.channels[loc.channel]
-	if err := st.sys.RemovePeer(loc.local); err != nil {
-		return fmt.Errorf("overlay: leave channel %q: %w", st.name, err)
-	}
-	st.peerIDs = append(st.peerIDs[:loc.local], st.peerIDs[loc.local+1:]...)
-	// Reindex the shifted peers.
-	for i := loc.local; i < len(st.peerIDs); i++ {
-		m.byPeer[st.peerIDs[i]] = location{channel: loc.channel, local: i}
-	}
-	delete(m.byPeer, peerID)
-	return nil
-}
+func (m *Multi) Leave(peerID int) error { return m.c.Leave(peerID) }
 
 // Switch moves the peer to another channel (fresh selection state, since
-// the helper pool is channel-specific).
-func (m *Multi) Switch(peerID, toChannel int) error {
-	loc, ok := m.byPeer[peerID]
-	if !ok {
-		return fmt.Errorf("overlay: peer %d not active", peerID)
-	}
-	if loc.channel == toChannel {
-		return nil
-	}
-	if err := m.Leave(peerID); err != nil {
-		return err
-	}
-	return m.Join(peerID, toChannel)
-}
+// the helper pool is channel-specific). The target channel is validated
+// before the peer leaves its current one, so a failed switch leaves the
+// peer where it was instead of silently dropping it.
+func (m *Multi) Switch(peerID, toChannel int) error { return m.c.Switch(peerID, toChannel) }
 
 // Apply replays one churn event.
-func (m *Multi) Apply(e trace.Event) error {
-	switch e.Kind {
-	case trace.Join:
-		return m.Join(e.PeerID, e.Channel)
-	case trace.Leave:
-		return m.Leave(e.PeerID)
-	case trace.Switch:
-		return m.Switch(e.PeerID, e.Channel)
-	default:
-		return fmt.Errorf("overlay: unknown event kind %v", e.Kind)
-	}
-}
+func (m *Multi) Apply(e trace.Event) error { return m.c.Apply(e) }
 
 // Totals is the aggregate-only view of one stage: the per-channel sums
 // without the cloned per-peer detail. StepTotals fills one without
@@ -210,49 +163,50 @@ type Totals struct {
 // and costs O(peers) allocations per channel per stage. Replays that only
 // need the aggregate series should use StepTotals instead.
 func (m *Multi) Step() (StepResult, error) {
-	out := StepResult{ActivePeers: len(m.byPeer)}
-	for _, st := range m.channels {
-		res, err := st.sys.Step()
-		if err != nil {
-			return StepResult{}, fmt.Errorf("overlay: channel %q: %w", st.name, err)
-		}
-		cr := ChannelResult{
-			Name:    st.name,
-			Bitrate: st.bitrate,
-			PeerIDs: append([]int(nil), st.peerIDs...),
-			Result:  res.Clone(),
-		}
-		out.Channels = append(out.Channels, cr)
-		out.TotalWelfare += res.Welfare
-		out.TotalOptWelfare += res.OptWelfare
-		out.TotalServerLoad += res.ServerLoad
-		out.TotalMinDeficit += res.MinDeficit
+	t, err := m.c.StepStage()
+	if err != nil {
+		return StepResult{}, err
+	}
+	out := StepResult{
+		TotalWelfare:    t.Welfare,
+		TotalOptWelfare: t.OptWelfare,
+		TotalServerLoad: t.ServerLoad,
+		TotalMinDeficit: t.MinDeficit,
+		ActivePeers:     t.ActivePeers,
+	}
+	for ci := 0; ci < m.c.NumChannels(); ci++ {
+		out.Channels = append(out.Channels, ChannelResult{
+			Name:    m.c.ChannelName(ci),
+			Bitrate: m.c.ChannelBitrate(ci),
+			PeerIDs: append([]int(nil), m.c.ChannelPeerIDs(ci)...),
+			Result:  m.c.ChannelStageResult(ci).Clone(),
+		})
 	}
 	return out, nil
 }
 
 // StepTotals advances every channel one stage and returns only the
 // aggregate sums. It allocates nothing in steady state (pinned by
-// TestStepTotalsZeroAllocs): the per-channel StageResults alias each
-// system's reusable buffers and are reduced in channel order without
-// cloning, so the totals are bit-identical to Step's.
+// TestStepTotalsZeroAllocs): the per-channel results alias each system's
+// reusable buffers and are reduced in channel order without cloning, so
+// the totals are bit-identical to Step's.
 func (m *Multi) StepTotals() (Totals, error) {
-	out := Totals{ActivePeers: len(m.byPeer)}
-	for _, st := range m.channels {
-		res, err := st.sys.Step()
-		if err != nil {
-			return Totals{}, fmt.Errorf("overlay: channel %q: %w", st.name, err)
-		}
-		out.Welfare += res.Welfare
-		out.OptWelfare += res.OptWelfare
-		out.ServerLoad += res.ServerLoad
-		out.MinDeficit += res.MinDeficit
+	t, err := m.c.StepStage()
+	if err != nil {
+		return Totals{}, err
 	}
-	return out, nil
+	return Totals{
+		Welfare:     t.Welfare,
+		OptWelfare:  t.OptWelfare,
+		ServerLoad:  t.ServerLoad,
+		MinDeficit:  t.MinDeficit,
+		ActivePeers: t.ActivePeers,
+	}, nil
 }
 
 // Replay runs the workload to its horizon, applying each stage's events
-// before stepping, and invoking observe (if non-nil) per stage.
+// before stepping, and invoking observe (if non-nil) per stage. Events
+// beyond the horizon are dropped (the trace.Workload.PerStage contract).
 func (m *Multi) Replay(w *trace.Workload, horizon int, observe func(StepResult)) error {
 	perStage := w.PerStage(horizon)
 	for s := 0; s < horizon; s++ {

@@ -130,6 +130,78 @@ func TestJoinLeaveSwitch(t *testing.T) {
 	}
 }
 
+// TestSwitchAtomicOnBadTarget pins the atomicity fix: a Switch to an
+// out-of-range channel must error *and* leave the peer active in its
+// original channel — the old Leave-then-Join sequence silently dropped the
+// peer when the Join leg failed.
+func TestSwitchAtomicOnBadTarget(t *testing.T) {
+	m, err := New(twoChannelConfig(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Join(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, 2, 99} {
+		if err := m.Switch(100, bad); err == nil {
+			t.Fatalf("switch to channel %d accepted", bad)
+		}
+	}
+	if m.ActivePeers() != 11 || m.ChannelAudience(0) != 7 {
+		t.Fatalf("failed switch dropped the peer: active=%d ch0=%d",
+			m.ActivePeers(), m.ChannelAudience(0))
+	}
+	// The peer is still addressable: a valid switch and a leave both work.
+	if err := m.Switch(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Leave(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeedDerivationNotAdditive pins the channel-seed fix: under the old
+// additive derivation (Seed + ci*const), overlay B with Seed = A.Seed +
+// const gave its channel 0 exactly overlay A's channel-1 RNG stream. With
+// the master-RNG Split scheme the two streams must be unrelated.
+func TestSeedDerivationNotAdditive(t *testing.T) {
+	const oldDerivationConst = 0x9e3779b97f4a7c15
+	base := uint64(12345)
+	cfgA := twoChannelConfig(base)
+	cfgB := twoChannelConfig(base + oldDerivationConst)
+	// Identical channel shapes so any stream sharing would be visible.
+	cfgA.Channels[1] = cfgA.Channels[0]
+	cfgB.Channels[0] = cfgA.Channels[0]
+	a, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for s := 0; s < 50 && same; s++ {
+		ra, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, act := range ra.Channels[1].Result.Actions {
+			if rb.Channels[0].Result.Actions[i] != act {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("overlay(seed+const) channel 0 replays overlay(seed) channel 1: channel streams are shared")
+	}
+}
+
 func TestLeaveReindexesCorrectly(t *testing.T) {
 	m, err := New(twoChannelConfig(17))
 	if err != nil {

@@ -27,6 +27,24 @@ const (
 	Switch
 )
 
+// stageOrder is the within-stage application order — the order
+// GenerateChurn itself sequences a stage: departures free their slots
+// first, survivors zap channels, and only then do new arrivals join.
+// Workload.Events is sorted with this key, so a replay applies each
+// stage's events exactly as the generator produced them.
+func (k EventKind) stageOrder() int {
+	switch k {
+	case Leave:
+		return 0
+	case Switch:
+		return 1
+	case Join:
+		return 2
+	default:
+		return 3
+	}
+}
+
 func (k EventKind) String() string {
 	switch k {
 	case Join:
@@ -91,8 +109,11 @@ func (c ChurnConfig) validate() error {
 
 // Workload is a generated, replayable churn trace.
 type Workload struct {
-	// Events are sorted by stage (ties: joins before switches before leaves,
-	// then by peer id) so replays are deterministic.
+	// Events are sorted by stage (ties: leaves before switches before
+	// joins, then by peer id) so replays are deterministic. The tie-break
+	// matches GenerateChurn's own within-stage sequencing — departures,
+	// then channel zaps among the survivors, then arrivals — so applying
+	// events in slice order reproduces the generator's causal order.
 	Events []Event
 	// Peak is the maximum number of concurrently active peers.
 	Peak int
@@ -165,8 +186,8 @@ func GenerateChurn(cfg ChurnConfig) (*Workload, error) {
 		if events[i].Stage != events[j].Stage {
 			return events[i].Stage < events[j].Stage
 		}
-		if events[i].Kind != events[j].Kind {
-			return events[i].Kind < events[j].Kind
+		if a, b := events[i].Kind.stageOrder(), events[j].Kind.stageOrder(); a != b {
+			return a < b
 		}
 		return events[i].PeerID < events[j].PeerID
 	})

@@ -104,6 +104,53 @@ func TestChurnConsistencyProperty(t *testing.T) {
 	}
 }
 
+// TestWithinStageOrderMatchesGeneration pins the documented tie-break to
+// the generator's own sequencing: within a stage, leaves come first (they
+// free membership slots), then switches among the survivors, then joins.
+// A replay applying Events in slice order therefore reproduces exactly the
+// state sequence GenerateChurn walked through.
+func TestWithinStageOrderMatchesGeneration(t *testing.T) {
+	cfg := validConfig()
+	cfg.Horizon = 1500
+	cfg.ArrivalRate = 1.5
+	cfg.MeanLifetime = 30
+	cfg.SwitchRate = 0.05
+	w, err := GenerateChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := map[EventKind]int{Leave: 0, Switch: 1, Join: 2}
+	counts := map[EventKind]int{}
+	mixedStages := 0
+	for i := 1; i < len(w.Events); i++ {
+		prev, cur := w.Events[i-1], w.Events[i]
+		counts[cur.Kind]++
+		if cur.Stage != prev.Stage {
+			continue
+		}
+		if order[cur.Kind] < order[prev.Kind] {
+			t.Fatalf("stage %d: %v event after %v event", cur.Stage, cur.Kind, prev.Kind)
+		}
+		if cur.Kind == prev.Kind && cur.PeerID < prev.PeerID {
+			t.Fatalf("stage %d: %v peer ids out of order (%d after %d)",
+				cur.Stage, cur.Kind, cur.PeerID, prev.PeerID)
+		}
+		if cur.Kind != prev.Kind {
+			mixedStages++
+		}
+	}
+	// The workload must actually exercise the tie-break: every kind present,
+	// and stages that mix kinds.
+	for _, k := range []EventKind{Join, Leave, Switch} {
+		if counts[k] == 0 {
+			t.Fatalf("workload has no %v events; ordering not exercised", k)
+		}
+	}
+	if mixedStages == 0 {
+		t.Fatal("no stage mixes event kinds; ordering not exercised")
+	}
+}
+
 func TestPopularityIsSkewed(t *testing.T) {
 	cfg := validConfig()
 	cfg.Horizon = 2000

@@ -91,7 +91,9 @@ type (
 	MultiChannelConfig = overlay.Config
 	// ChannelConfig describes one live channel.
 	ChannelConfig = overlay.ChannelConfig
-	// MultiChannel is a running multi-channel system.
+	// MultiChannel is a running multi-channel system — a compatibility
+	// wrapper over the cluster runtime with frozen per-channel helper
+	// pools (use NewCluster directly for shared pools and re-allocation).
 	MultiChannel = overlay.Multi
 	// MultiChannelResult aggregates one stage across channels.
 	MultiChannelResult = overlay.StepResult
@@ -170,6 +172,9 @@ type (
 	ClusterChannelSpec = cluster.ChannelSpec
 	// ClusterEpochMetrics is the per-epoch observable record.
 	ClusterEpochMetrics = cluster.EpochMetrics
+	// ClusterStageTotals is the aggregate-only per-stage view (the
+	// allocation-free observation path of Cluster.StepStage/ReplayTotals).
+	ClusterStageTotals = cluster.StageTotals
 	// ClusterSwitching enables Markov channel-switching viewers.
 	ClusterSwitching = cluster.SwitchingConfig
 	// ClusterFlashCrowd schedules a flash-crowd event.
@@ -235,6 +240,12 @@ func ClusterScale() ClusterScenario { return experiment.ClusterScale() }
 
 // ClusterSmall is the laptop-scale cluster smoke scenario.
 func ClusterSmall() ClusterScenario { return experiment.ClusterSmall() }
+
+// ClusterChurn is the trace-replay churn scenario: a generated
+// Poisson/Zipf viewer workload (joins, departures, channel zaps) replayed
+// through Cluster.Replay, composing with Markov switching, a flash crowd
+// and helper re-allocation epochs.
+func ClusterChurn() ClusterScenario { return experiment.ClusterChurn() }
 
 // NewDistributed builds the single-channel message-passing runtime (the
 // compatibility surface over the batched distsim runtime: one channel
