@@ -256,6 +256,43 @@ func BenchmarkHotPathStep(b *testing.B) {
 	b.Run("N=100000/H=16/workers=8", func(b *testing.B) { benchHotPath(b, 100000, 16, 8) })
 }
 
+// benchViewStep measures the partial-view stage engine at a fixed H=256
+// pool with varying view bounds (0 = full views): per-stage cost must
+// scale with the view size v, not the pool size H.
+func benchViewStep(b *testing.B, peers, helpers, viewSize int) {
+	specs := make([]rths.HelperSpec, helpers)
+	for j := range specs {
+		specs[j] = rths.DefaultHelperSpec()
+	}
+	sys, err := rths.NewSystem(rths.SystemConfig{
+		NumPeers: peers, Helpers: specs, Seed: 1, ViewSize: viewSize,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Run(8, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "stages/sec")
+	b.ReportMetric(float64(b.N)*float64(peers)/b.Elapsed().Seconds(), "peerstages/sec")
+}
+
+// BenchmarkViewStep tracks the O(v) vs O(H) per-update claim; cmd/hotbench
+// records the same pair (views-256h-full / views-256h-v16) in
+// BENCH_hotpath.json so the gap is gated across PRs.
+func BenchmarkViewStep(b *testing.B) {
+	b.Run("N=128/H=256/full", func(b *testing.B) { benchViewStep(b, 128, 256, 0) })
+	b.Run("N=128/H=256/v=16", func(b *testing.B) { benchViewStep(b, 128, 256, 16) })
+	b.Run("N=128/H=256/v=4", func(b *testing.B) { benchViewStep(b, 128, 256, 4) })
+}
+
 // benchCluster measures the multi-channel cluster runtime end to end:
 // Markov-switching viewers, parallel channel stepping, and a re-allocation
 // boundary every epoch.

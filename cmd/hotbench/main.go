@@ -55,6 +55,7 @@ type ClusterResult struct {
 	Peers            int     `json:"peers"`
 	Helpers          int     `json:"helpers"`
 	Workers          int     `json:"workers"`
+	FullOnly         bool    `json:"full_run_only,omitempty"`
 	Stages           int     `json:"stages"`
 	NsPerStage       float64 `json:"ns_per_stage"`
 	StagesPerSec     float64 `json:"stages_per_sec"`
@@ -67,6 +68,8 @@ type ScenarioResult struct {
 	Peers            int     `json:"peers"`
 	Helpers          int     `json:"helpers"`
 	Workers          int     `json:"workers"`
+	ViewSize         int     `json:"view_size,omitempty"`
+	FullOnly         bool    `json:"full_run_only,omitempty"`
 	Stages           int     `json:"stages"`
 	NsPerStage       float64 `json:"ns_per_stage"`
 	StagesPerSec     float64 `json:"stages_per_sec"`
@@ -84,23 +87,32 @@ type LearnerResult struct {
 }
 
 type scenarioSpec struct {
-	name    string
-	peers   int
-	helpers int
-	workers int
+	name     string
+	peers    int
+	helpers  int
+	workers  int
+	viewSize int  // 0 = full helper views
+	fullOnly bool // measured only with -full; excluded from the gate
 }
 
 func defaultScenarios(full bool) []scenarioSpec {
 	specs := []scenarioSpec{
-		{"small-seq", 10, 4, 0},
-		{"mid-seq", 1000, 16, 0},
-		{"mid-workers8", 1000, 16, 8},
-		{"large-seq", 20000, 16, 0},
+		{name: "small-seq", peers: 10, helpers: 4},
+		{name: "mid-seq", peers: 1000, helpers: 16},
+		{name: "mid-workers8", peers: 1000, helpers: 16, workers: 8},
+		{name: "large-seq", peers: 20000, helpers: 16},
+		// The partial-view acceptance pair: the same H=256 pool with
+		// full-view learners (O(H²) state, O(H) updates) and with
+		// ViewSize=16 candidate views (O(v²)/O(v)). The v=16 row must stay
+		// far ahead of the full row on ns/stage, and the full row keeps the
+		// large-m cost model honest in the gate.
+		{name: "views-256h-full", peers: 128, helpers: 256},
+		{name: "views-256h-v16", peers: 128, helpers: 256, viewSize: 16},
 	}
 	if full {
 		specs = append(specs,
-			scenarioSpec{"xlarge-seq", 100000, 16, 0},
-			scenarioSpec{"xlarge-workers8", 100000, 16, 8},
+			scenarioSpec{name: "xlarge-seq", peers: 100000, helpers: 16, fullOnly: true},
+			scenarioSpec{name: "xlarge-workers8", peers: 100000, helpers: 16, workers: 8, fullOnly: true},
 		)
 	}
 	return specs
@@ -119,6 +131,7 @@ func measureScenario(spec scenarioSpec, stages int) (ScenarioResult, error) {
 		Helpers:  helpers,
 		Seed:     1,
 		Workers:  spec.workers,
+		ViewSize: spec.viewSize,
 	})
 	if err != nil {
 		return ScenarioResult{}, fmt.Errorf("%s: %w", spec.name, err)
@@ -141,6 +154,8 @@ func measureScenario(spec scenarioSpec, stages int) (ScenarioResult, error) {
 		Peers:            spec.peers,
 		Helpers:          spec.helpers,
 		Workers:          spec.workers,
+		ViewSize:         spec.viewSize,
+		FullOnly:         spec.fullOnly,
 		Stages:           stages,
 		NsPerStage:       ns,
 		StagesPerSec:     1e9 / ns,
@@ -158,28 +173,32 @@ type clusterSpec struct {
 	workers  int
 	backend  rths.ClusterBackend
 	churn    bool // replay a generated churn trace through Cluster.Replay
+	fullOnly bool // measured only with -full; excluded from the gate
 }
 
 func defaultClusterScenarios(full bool) []clusterSpec {
 	specs := []clusterSpec{
-		{"cluster-small-seq", 8, 240, 16, 0, rths.ClusterBackendMemory, false},
-		{"cluster-mid-seq", 20, 1000, 40, 0, rths.ClusterBackendMemory, false},
-		{"cluster-mid-workers4", 20, 1000, 40, 4, rths.ClusterBackendMemory, false},
+		{name: "cluster-small-seq", channels: 8, peers: 240, helpers: 16},
+		{name: "cluster-mid-seq", channels: 20, peers: 1000, helpers: 40},
+		{name: "cluster-mid-workers4", channels: 20, peers: 1000, helpers: 40, workers: 4},
 		// The distsim acceptance pair: the same 4-channel, N=1k deployment
 		// on the shared-memory backend and on the batched message-passing
 		// runtime. The distsim row must stay within ~5x of the memory row.
-		{"cluster-4ch-seq", 4, 1000, 16, 0, rths.ClusterBackendMemory, false},
-		{"cluster-4ch-distsim", 4, 1000, 16, 0, rths.ClusterBackendDistsim, false},
+		{name: "cluster-4ch-seq", channels: 4, peers: 1000, helpers: 16},
+		{name: "cluster-4ch-distsim", channels: 4, peers: 1000, helpers: 16, backend: rths.ClusterBackendDistsim},
 		// The churn-replay pair: the same deployment driven by a generated
 		// Poisson/Zipf viewer trace through Cluster.Replay (joins, leaves
 		// and zaps applied per stage, re-allocation epochs included) on
 		// both backends. Event application rides on top of the stage loop,
 		// so these rows bound the replay overhead against cluster-4ch-*.
-		{"churn-replay-4ch-seq", 4, 1000, 16, 0, rths.ClusterBackendMemory, true},
-		{"churn-replay-4ch-distsim", 4, 1000, 16, 0, rths.ClusterBackendDistsim, true},
+		{name: "churn-replay-4ch-seq", channels: 4, peers: 1000, helpers: 16, churn: true},
+		{name: "churn-replay-4ch-distsim", channels: 4, peers: 1000, helpers: 16, backend: rths.ClusterBackendDistsim, churn: true},
 	}
 	if full {
-		specs = append(specs, clusterSpec{"cluster-scale-workers4", 100, 10000, 150, 4, rths.ClusterBackendMemory, false})
+		specs = append(specs, clusterSpec{
+			name: "cluster-scale-workers4", channels: 100, peers: 10000, helpers: 150,
+			workers: 4, backend: rths.ClusterBackendMemory, fullOnly: true,
+		})
 	}
 	return specs
 }
@@ -244,6 +263,7 @@ func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
 		Peers:            spec.peers,
 		Helpers:          spec.helpers,
 		Workers:          spec.workers,
+		FullOnly:         spec.fullOnly,
 		Stages:           measured,
 		NsPerStage:       ns,
 		StagesPerSec:     1e9 / ns,
@@ -435,36 +455,61 @@ func loadReport(path string) (*Report, error) {
 // regression specific to one path shows up, a uniformly slower machine
 // does not. Only sequential rows (workers == 0) are gated: on small or
 // contended hosts the workers>0 rows measure goroutine scheduling noise,
-// not engine throughput (see PERF.md). Names present on only one side are
-// skipped, so adding or retiring a scenario never fails the gate.
+// not engine throughput (see PERF.md).
+//
+// Name mismatches are hard failures, not skips: a fresh scenario missing
+// from the baseline, or a baseline scenario no longer measured, means a
+// rename or removal silently disabled that scenario's regression gate —
+// the failure message says to regenerate the committed baseline in the
+// same change that renames the scenario. Rows marked full_run_only are
+// outside the gate on both sides (like workers>0 rows), so a -full
+// measurement run can still be gated against the standard committed
+// baseline, and a baseline regenerated with -full still gates a standard
+// CI run.
 func compareReports(fresh, baseline *Report, tolerance float64) []string {
 	index := func(rep *Report) map[string]float64 {
 		out := make(map[string]float64)
 		for _, s := range rep.Scenarios {
-			if s.Workers == 0 {
+			if s.Workers == 0 && !s.FullOnly {
 				out[s.Name] = s.PeerStagesPerSec
 			}
 		}
 		for _, s := range rep.Cluster {
-			if s.Workers == 0 {
+			if s.Workers == 0 && !s.FullOnly {
 				out[s.Name] = s.PeerStagesPerSec
 			}
 		}
 		for _, s := range rep.Distsim {
-			out[s.Name] = s.PeerStagesPerSec
+			if !s.FullOnly {
+				out[s.Name] = s.PeerStagesPerSec
+			}
 		}
 		return out
 	}
 	base, cur := index(baseline), index(fresh)
+	var fails []string
 	var matched []string
 	for name, perf := range cur {
-		if want, ok := base[name]; ok && want > 0 && perf > 0 {
+		want, ok := base[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf(
+				"%s: not in the baseline — its gate is disabled; regenerate the committed BENCH_hotpath.json alongside the scenario change", name))
+			continue
+		}
+		if want > 0 && perf > 0 {
 			matched = append(matched, name)
 		}
 	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fails = append(fails, fmt.Sprintf(
+				"%s: in the baseline but not measured — a renamed or retired scenario must regenerate the committed BENCH_hotpath.json", name))
+		}
+	}
+	sort.Strings(fails)
 	if len(matched) < 2 {
 		// Normalization needs at least two rows to say anything.
-		return nil
+		return fails
 	}
 	sort.Strings(matched)
 	geomean := func(vals map[string]float64) float64 {
@@ -475,7 +520,6 @@ func compareReports(fresh, baseline *Report, tolerance float64) []string {
 		return math.Exp(sum / float64(len(matched)))
 	}
 	gBase, gCur := geomean(base), geomean(cur)
-	var fails []string
 	for _, name := range matched {
 		rel := (cur[name] / gCur) / (base[name] / gBase)
 		if rel < 1-tolerance {

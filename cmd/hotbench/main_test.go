@@ -126,7 +126,6 @@ func TestCompareReports(t *testing.T) {
 		Scenarios: []ScenarioResult{
 			{Name: "small-seq", PeerStagesPerSec: 4000},
 			{Name: "mid-seq", PeerStagesPerSec: 1000},
-			{Name: "retired", PeerStagesPerSec: 500},
 			{Name: "mid-workers8", Workers: 8, PeerStagesPerSec: 800},
 		},
 		Cluster: []ClusterResult{
@@ -134,13 +133,12 @@ func TestCompareReports(t *testing.T) {
 		},
 	}
 	// A uniformly 2x slower machine with one path additionally ~40% slower:
-	// only that path must fail. The workers>0 row collapsing entirely and
-	// unmatched names must not matter.
+	// only that path must fail. The workers>0 row collapsing entirely must
+	// not matter (it is recorded, never gated).
 	fresh := &Report{
 		Scenarios: []ScenarioResult{
 			{Name: "small-seq", PeerStagesPerSec: 2000},
 			{Name: "mid-seq", PeerStagesPerSec: 500},
-			{Name: "brand-new", PeerStagesPerSec: 1},
 			{Name: "mid-workers8", Workers: 8, PeerStagesPerSec: 10},
 		},
 		Cluster: []ClusterResult{
@@ -167,10 +165,71 @@ func TestCompareReports(t *testing.T) {
 	if fails := compareReports(uniform, base, 0.20); len(fails) != 0 {
 		t.Fatalf("uniform slowdown tripped the gate: %v", fails)
 	}
-	// Fewer than two matched rows: normalization is meaningless, gate is
-	// silent rather than wrong.
+}
+
+// A scenario name present on only one side is a hard gate failure, not a
+// skip: a rename or removal would otherwise silently disable that
+// scenario's regression gate.
+func TestCompareReportsNameMismatchHardFails(t *testing.T) {
+	base := &Report{
+		Scenarios: []ScenarioResult{
+			{Name: "small-seq", PeerStagesPerSec: 4000},
+			{Name: "mid-seq", PeerStagesPerSec: 1000},
+			{Name: "retired", PeerStagesPerSec: 500},
+		},
+	}
+	fresh := &Report{
+		Scenarios: []ScenarioResult{
+			{Name: "small-seq", PeerStagesPerSec: 4000},
+			{Name: "mid-seq", PeerStagesPerSec: 1000},
+			{Name: "brand-new", PeerStagesPerSec: 2000},
+		},
+	}
+	fails := compareReports(fresh, base, 0.20)
+	if len(fails) != 2 {
+		t.Fatalf("fails = %v, want the brand-new and retired mismatches", fails)
+	}
+	for _, want := range []string{"brand-new", "retired"} {
+		found := false
+		for _, f := range fails {
+			if strings.Contains(f, want) && strings.Contains(f, "BENCH_hotpath.json") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no actionable failure naming %q: %v", want, fails)
+		}
+	}
+	// Mismatches fail even when too few rows match for the normalized
+	// throughput comparison to run.
 	tiny := &Report{Scenarios: []ScenarioResult{{Name: "mid-seq", PeerStagesPerSec: 1}}}
-	if fails := compareReports(tiny, base, 0.20); len(fails) != 0 {
-		t.Fatalf("single-row comparison should be silent, got %v", fails)
+	fails = compareReports(tiny, base, 0.20)
+	if len(fails) != 2 {
+		t.Fatalf("fails = %v, want the two baseline rows tiny no longer measures", fails)
+	}
+	// workers>0 rows are outside the gate entirely: their names are free.
+	parOnly := &Report{Scenarios: []ScenarioResult{
+		{Name: "small-seq", PeerStagesPerSec: 4000},
+		{Name: "mid-seq", PeerStagesPerSec: 1000},
+		{Name: "retired", PeerStagesPerSec: 500},
+		{Name: "new-workers8", Workers: 8, PeerStagesPerSec: 10},
+	}}
+	if fails := compareReports(parOnly, base, 0.20); len(fails) != 0 {
+		t.Fatalf("ungated workers>0 row tripped the name check: %v", fails)
+	}
+	// full_run_only rows are likewise ungated in either direction: a -full
+	// run gates cleanly against the standard baseline, and a -full
+	// baseline gates a standard run.
+	fullRun := &Report{Scenarios: []ScenarioResult{
+		{Name: "small-seq", PeerStagesPerSec: 4000},
+		{Name: "mid-seq", PeerStagesPerSec: 1000},
+		{Name: "retired", PeerStagesPerSec: 500},
+		{Name: "xlarge-seq", FullOnly: true, PeerStagesPerSec: 100},
+	}}
+	if fails := compareReports(fullRun, base, 0.20); len(fails) != 0 {
+		t.Fatalf("-full run tripped the gate against a standard baseline: %v", fails)
+	}
+	if fails := compareReports(base, fullRun, 0.20); len(fails) != 0 {
+		t.Fatalf("standard run tripped the gate against a -full baseline: %v", fails)
 	}
 }

@@ -11,6 +11,14 @@
 //	rths-cluster -preset small -backend distsim
 //	rths-cluster -preset churn
 //	rths-cluster -preset small -churn-arrival 2 -churn-lifetime 50 -churn-switch 0.01
+//	rths-cluster -preset views
+//	rths-cluster -preset small -view-size 4 -view-refresh 25
+//
+// -view-size bounds every viewer's helper candidate view (the paper's
+// §III partial-view model): selection runs on at most that many helpers
+// per viewer, with a periodic refresh swapping the least-played in-view
+// helper for an unseen one, so learner state stays O(view²) however deep
+// the channel pools grow. 0 keeps full views.
 //
 // With a churn workload configured (-preset churn, or -churn-arrival > 0)
 // the run replays a generated Poisson/Zipf viewer trace through the
@@ -30,10 +38,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"rths"
 )
+
+// viewRefreshUnset is -view-refresh's no-override sentinel: every real
+// value is meaningful to the engine (positive = period, 0 = engine
+// default, negative = disabled), so the flag needs an out-of-band marker.
+const viewRefreshUnset = math.MinInt
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -69,7 +83,7 @@ func parseBackend(name string) (rths.ClusterBackend, error) {
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("rths-cluster", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	preset := fs.String("preset", "small", "scenario preset: small or scale")
+	preset := fs.String("preset", "small", "scenario preset: small, scale, churn or views")
 	channels := fs.Int("channels", 0, "override channel count")
 	peers := fs.Int("peers", 0, "override total initial viewers")
 	helpers := fs.Int("helpers", 0, "override global helper pool size")
@@ -82,6 +96,8 @@ func run(args []string, out, errOut io.Writer) error {
 	churnArrival := fs.Float64("churn-arrival", -1, "override trace-replay arrivals per stage (0 disables replay)")
 	churnLifetime := fs.Float64("churn-lifetime", -1, "override replayed viewers' mean session length in stages")
 	churnSwitch := fs.Float64("churn-switch", -1, "override replayed viewers' per-stage zap probability")
+	viewSize := fs.Int("view-size", -1, "override per-viewer helper view bound (0 = full views)")
+	viewRefresh := fs.Int("view-refresh", viewRefreshUnset, "override view refresh period in stages (0 = engine default, negative disables)")
 	allocName := fs.String("alloc", "", "allocator: greedy, proportional or static")
 	backendName := fs.String("backend", "", "execution backend: memory or distsim")
 	workers := fs.Int("workers", -1, "override channel-stepping worker count")
@@ -98,8 +114,10 @@ func run(args []string, out, errOut io.Writer) error {
 		sc = rths.ClusterScale()
 	case "churn":
 		sc = rths.ClusterChurn()
+	case "views":
+		sc = rths.ClusterViews()
 	default:
-		return fmt.Errorf("unknown preset %q (small, scale, churn)", *preset)
+		return fmt.Errorf("unknown preset %q (small, scale, churn, views)", *preset)
 	}
 	if *channels > 0 {
 		sc.Channels = *channels
@@ -139,6 +157,12 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	if sc.ChurnArrivalRate > 0 && sc.ChurnMeanLifetime <= 0 {
 		sc.ChurnMeanLifetime = 60
+	}
+	if *viewSize >= 0 {
+		sc.ViewSize = *viewSize
+	}
+	if *viewRefresh != viewRefreshUnset {
+		sc.ViewRefresh = *viewRefresh
 	}
 	if *allocName != "" {
 		kind, err := parseAllocator(*allocName)
@@ -202,8 +226,8 @@ func run(args []string, out, errOut io.Writer) error {
 		return encErr
 	}
 	fmt.Fprintf(errOut,
-		"cluster: %d channels × %d viewers, %d helpers, alloc=%v backend=%v workers=%d mode=%s | %d epochs × %d stages | moves=%d switches=%d joins=%d leaves=%d | final welfare_ratio=%.4f continuity=%.4f max_deficit=%.0f kbps\n",
-		c.NumChannels(), c.ActivePeers(), c.NumHelpers(), sc.Allocator, sc.Backend, sc.Workers, mode,
+		"cluster: %d channels × %d viewers, %d helpers, alloc=%v backend=%v workers=%d view=%d mode=%s | %d epochs × %d stages | moves=%d switches=%d joins=%d leaves=%d | final welfare_ratio=%.4f continuity=%.4f max_deficit=%.0f kbps\n",
+		c.NumChannels(), c.ActivePeers(), c.NumHelpers(), sc.Allocator, sc.Backend, sc.Workers, sc.ViewSize, mode,
 		c.Epoch(), sc.EpochStages, moves, switches, joins, leaves, lastRatio, lastContinuity, lastMaxDef)
 	return nil
 }

@@ -113,6 +113,51 @@ func TestRunChurnReplayBackendsBitIdentical(t *testing.T) {
 	}
 }
 
+// TestRunViewsPreset drives the partial-view preset end to end: decodable
+// per-epoch JSON, the view bound in the summary, and CLI overrides of the
+// view flags on another preset.
+func TestRunViewsPreset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "views", "-epochs", "3"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var m rths.ClusterEpochMetrics
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("emitted %d epoch records, want 3", lines)
+	}
+	if !strings.Contains(errOut.String(), "view=8") {
+		t.Fatalf("summary missing the view bound: %q", errOut.String())
+	}
+	if err := run([]string{"-preset", "small", "-epochs", "1", "-view-size", "4", "-view-refresh", "10"}, &out, &errOut); err != nil {
+		t.Fatalf("view flags rejected: %v", err)
+	}
+}
+
+// TestRunViewsBackendsBitIdentical extends the CLI parity pin to partial
+// views: the distsim backend must emit exactly the JSON the shared-memory
+// backend emits for the views preset.
+func TestRunViewsBackendsBitIdentical(t *testing.T) {
+	emit := func(backend string) string {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-preset", "views", "-epochs", "2", "-backend", backend}, &out, &errOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if mem, dist := emit("memory"), emit("distsim"); mem != dist {
+		t.Fatalf("backend changed the views metrics:\n%s\nvs\n%s", mem, dist)
+	}
+}
+
 func TestRunAllocators(t *testing.T) {
 	for _, name := range []string{"greedy", "proportional", "static"} {
 		var out, errOut bytes.Buffer

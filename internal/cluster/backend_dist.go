@@ -35,6 +35,10 @@ func newDistBackend(cfg Config, assign []int, seeds []uint64, scale, startup flo
 		Assign:       append([]int(nil), assign...),
 		Factory:      cfg.Factory,
 		UtilityScale: scale,
+		ViewSize:     cfg.ViewSize,
+		ViewRefresh:  cfg.ViewRefresh,
+		Link:         cfg.Link,
+		LinkSeed:     cfg.LinkSeed,
 	})
 	if err != nil {
 		return nil, err

@@ -53,6 +53,8 @@ func newMemBackend(cfg Config, assign []int, seeds []uint64, scale, startup floa
 			Seed:          seeds[ci],
 			DemandPerPeer: spec.Bitrate,
 			UtilityScale:  scale,
+			ViewSize:      cfg.ViewSize,
+			ViewRefresh:   cfg.ViewRefresh,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: channel %q: %w", spec.Name, err)
@@ -73,12 +75,13 @@ func newMemBackend(cfg Config, assign []int, seeds []uint64, scale, startup floa
 // newSelector builds a mid-run viewer's selection policy from the
 // configured factory (nil lets AddPeer construct the RTHS default), so
 // flash-crowd joiners and channel switchers run the same policy family as
-// the initial audience.
+// the initial audience. The action count is the system's NewPeerActions —
+// the view bound when partial views are engaged, the pool size otherwise.
 func (b *memBackend) newSelector(st *memChannel) (core.Selector, error) {
 	if b.factory == nil {
 		return nil, nil
 	}
-	return b.factory(st.sys.NumPeers(), st.sys.NumHelpers(), b.scale)
+	return b.factory(st.sys.NumPeers(), st.sys.NewPeerActions(), b.scale)
 }
 
 func (b *memBackend) addPeer(ci int) error {

@@ -48,6 +48,7 @@ import (
 
 	"rths/internal/alloc"
 	"rths/internal/core"
+	"rths/internal/distsim"
 	"rths/internal/markov"
 	"rths/internal/trace"
 	"rths/internal/xrand"
@@ -187,6 +188,30 @@ type Config struct {
 	// StartupStages is the playout-buffer startup threshold in stages of
 	// media (default 2); it shapes the continuity metric.
 	StartupStages float64
+	// ViewSize bounds each viewer's helper candidate view inside its
+	// channel (see core.Config.ViewSize): selection policies run on
+	// ViewSize actions, mapped to global helper ids through a per-peer
+	// view, so per-viewer learner state is O(ViewSize²) and helper
+	// migration touches only the viewers whose views contain the moved
+	// helper. 0 keeps full views (today's behavior bit-for-bit). The
+	// bound follows core's construction-time discipline, applied per
+	// channel and identically on both backends: views engage in a channel
+	// only when its INITIAL pool exceeds ViewSize. A channel built with a
+	// pool at or below the bound runs full-view for its lifetime — if
+	// migration later grows its pool well past ViewSize, its resident
+	// learners grow with it — so size ViewSize below the smallest initial
+	// per-channel pool you want bounded (see the ROADMAP follow-on on
+	// dynamic engagement).
+	ViewSize int
+	// ViewRefresh is the partial-view refresh period in stages (see
+	// core.Config.ViewRefresh; 0 = default, negative disables).
+	ViewRefresh int
+	// Link, with BackendDistsim, adjudicates every data-plane message of
+	// the message-passing runtime (nil = perfect links — the bit-identical
+	// configuration). Rejected with BackendMemory, which has no links to
+	// fail. LinkSeed derives the link streams.
+	Link     distsim.LinkModel
+	LinkSeed uint64
 }
 
 // EpochMetrics is the cluster's per-epoch observable — the JSON record
@@ -324,6 +349,15 @@ type Cluster struct {
 	epoch  int
 	nextID int
 
+	// freeIDs is a min-heap of global viewer ids freed by Leave below
+	// nextID: scenario joins (flash crowds) pop the smallest free id, so
+	// under sustained leave/re-join churn the scenario id space stays
+	// dense instead of growing without bound — and a join is O(log n)
+	// rather than a scan. Replayed workloads bring their own (offset) id
+	// space; their freed ids sit above nextID and are never recycled, so
+	// scenario joins cannot collide with future trace joins.
+	freeIDs []int
+
 	// stagesInEpoch counts stages since the last boundary, so partial
 	// epochs (a Replay horizon that does not divide EpochStages) report
 	// honest per-stage means.
@@ -373,6 +407,12 @@ func New(cfg Config) (*Cluster, error) {
 	case BackendMemory, BackendDistsim:
 	default:
 		return nil, fmt.Errorf("cluster: unknown backend %v", cfg.Backend)
+	}
+	if cfg.ViewSize < 0 {
+		return nil, fmt.Errorf("cluster: ViewSize=%d", cfg.ViewSize)
+	}
+	if cfg.Link != nil && cfg.Backend != BackendDistsim {
+		return nil, errors.New("cluster: Link requires BackendDistsim")
 	}
 	c := &Cluster{
 		byPeer:      make(map[int]location),
@@ -734,6 +774,18 @@ type StageTotals struct {
 	ActivePeers int
 }
 
+// WelfareRatio is Welfare/OptWelfare with the degenerate stage defined:
+// a stage whose optimum is zero (no viewers, or every helper observed at
+// zero capacity — e.g. a fully partitioned distsim link) reports 1, never
+// NaN, matching EpochMetrics.WelfareRatio's contract so downstream JSON
+// encoders and dashboards are safe on pathological stages.
+func (t StageTotals) WelfareRatio() float64 {
+	if t.OptWelfare > 0 {
+		return t.Welfare / t.OptWelfare
+	}
+	return 1
+}
+
 // StepStage advances every channel one stage — scenario events (flash
 // crowds, Markov switching) first, then the backend's channel-stepping
 // phase — and returns the stage's aggregate totals, reduced in channel
@@ -929,12 +981,21 @@ func (c *Cluster) migrate(next alloc.Assignment) (int, error) {
 }
 
 // join adds a fresh viewer to channel ci — the flash-crowd path. It
-// allocates the lowest global id not currently active, skipping ids a
-// replayed workload occupies, so scenario joins and trace joins compose
-// without colliding (replays should still offset their ids above the
-// initial audience plus expected scenario churn, see
+// allocates the lowest free global id: first from the min-heap of ids
+// freed by Leave (lazy deletion skips entries a replayed workload has
+// since claimed), then from the monotone nextID watermark, skipping ids a
+// replayed workload occupies. Under sustained leave/re-join churn the
+// scenario id space therefore stays dense, each join costing O(log n)
+// heap work instead of an O(N) rescan (replays should still offset their
+// ids above the initial audience plus expected scenario churn, see
 // trace.Workload.OffsetPeerIDs).
 func (c *Cluster) join(ci int) error {
+	for len(c.freeIDs) > 0 {
+		id := popMinID(&c.freeIDs)
+		if _, taken := c.byPeer[id]; !taken {
+			return c.Join(id, ci)
+		}
+	}
 	for {
 		if _, taken := c.byPeer[c.nextID]; !taken {
 			break
@@ -944,6 +1005,55 @@ func (c *Cluster) join(ci int) error {
 	id := c.nextID
 	c.nextID++
 	return c.Join(id, ci)
+}
+
+// pushFreeID records a departed viewer's id for scenario-join recycling.
+// Only ids below the nextID watermark enter the heap: anything at or
+// above it belongs to an external (replayed) id space that manages its
+// own ids.
+func (c *Cluster) pushFreeID(id int) {
+	if id >= c.nextID {
+		return
+	}
+	c.freeIDs = append(c.freeIDs, id)
+	// Sift up.
+	i := len(c.freeIDs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.freeIDs[parent] <= c.freeIDs[i] {
+			break
+		}
+		c.freeIDs[parent], c.freeIDs[i] = c.freeIDs[i], c.freeIDs[parent]
+		i = parent
+	}
+}
+
+// popMinID removes and returns the smallest id of the free-id min-heap.
+func popMinID(h *[]int) int {
+	ids := *h
+	min := ids[0]
+	last := len(ids) - 1
+	ids[0] = ids[last]
+	ids = ids[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(ids) && ids[l] < ids[smallest] {
+			smallest = l
+		}
+		if r < len(ids) && ids[r] < ids[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		ids[i], ids[smallest] = ids[smallest], ids[i]
+		i = smallest
+	}
+	*h = ids
+	return min
 }
 
 // Join adds the (new) global viewer id to channel ci with the channel
@@ -985,6 +1095,7 @@ func (c *Cluster) Leave(peerID int) error {
 	}
 	delete(c.byPeer, peerID)
 	c.removeViewer(peerID)
+	c.pushFreeID(peerID)
 	c.leaves++
 	return nil
 }

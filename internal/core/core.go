@@ -30,6 +30,13 @@ var DefaultLevels = []float64{700, 800, 900}
 // expected dwell time in a level is 1/DefaultSwitchProb = 50 stages.
 const DefaultSwitchProb = 0.02
 
+// DefaultViewRefresh is the default period, in stages, of the partial-view
+// refresh pass (Config.ViewRefresh = 0). It matches the bandwidth chains'
+// expected dwell time: refreshing much faster would evict helpers before
+// the learner can price them, much slower would let an out-of-view helper
+// stay invisible across a whole bandwidth regime.
+const DefaultViewRefresh = 50
+
 // Selector is one peer's helper-selection policy. Implementations see only
 // their own actions and utilities (normalized to [0,1] by the system), per
 // the paper's zero-knowledge setting. regret.Learner satisfies Selector.
@@ -87,11 +94,15 @@ func DefaultHelperSpec() HelperSpec {
 	return HelperSpec{Levels: levels, SwitchProb: DefaultSwitchProb, InitState: -1}
 }
 
-// SelectorFactory builds the selection policy for peer i given the number
-// of helpers. utilityScale is the value the system divides rates by before
-// handing them to Update (the maximum helper level), so factories can size
+// SelectorFactory builds the selection policy for peer i with the given
+// action-set size. numActions is the number of actions the policy must
+// expose: the helper count on a full-view system, the ViewSize bound when
+// partial views are engaged (Config.ViewSize) — it is NOT necessarily the
+// pool size, so factories must not use it to index helper metadata.
+// utilityScale is the value the system divides rates by before handing
+// them to Update (the maximum helper level), so factories can size
 // learner constants for normalized utilities.
-type SelectorFactory func(peer, numHelpers int, utilityScale float64) (Selector, error)
+type SelectorFactory func(peer, numActions int, utilityScale float64) (Selector, error)
 
 // RTHSFactory returns the paper's R2HS tracking learner with experiment
 // defaults (utilities normalized, so scale 1).
@@ -141,6 +152,27 @@ type Config struct {
 	// receiving system's normalization. Must be at least the largest
 	// configured level; 0 selects the default.
 	UtilityScale float64
+	// ViewSize bounds each peer's helper candidate view (the paper's §III
+	// partial-view model): every peer's selector runs on at most ViewSize
+	// actions, mapped to global helper ids through a per-peer view, so
+	// learner state is O(ViewSize²) instead of O(H²) and large helper
+	// pools (H in the hundreds) stay affordable. 0 keeps today's full-view
+	// behavior bit-for-bit. Partial views engage only when
+	// 0 < ViewSize < len(Helpers) at construction — a ViewSize at or above
+	// the initial helper count is also exactly the full-view engine (no
+	// extra RNG draws, no mapping layer), pinned by the view equivalence
+	// tests. Each peer's initial view is a uniform sample of ViewSize
+	// helpers drawn from a deterministic per-peer stream.
+	ViewSize int
+	// ViewRefresh is the period, in stages, of the partial-view refresh
+	// pass: every ViewRefresh stages each partial-view peer refills its
+	// view to ViewSize helpers and swaps its lowest-probability in-view
+	// helper for a uniformly sampled unseen one, through the selector's
+	// AddAction/RemoveAction churn seam on the peer's own RNG stream (so
+	// results are independent of Workers and identical on every backend).
+	// 0 selects DefaultViewRefresh; negative disables refresh. Ignored
+	// when partial views are not engaged.
+	ViewRefresh int
 }
 
 type helper struct {
@@ -156,6 +188,20 @@ type peer struct {
 	// directly (no itab dispatch) in that common case.
 	lrn    *regret.Learner
 	demand float64
+	// view maps the selector's view-local actions to global helper ids;
+	// nil when the peer sees the full helper set (ViewSize = 0, or a
+	// ViewSize at or above the construction-time helper count).
+	view *regret.View
+	// viewRng is the peer's private stream for view sampling and refresh;
+	// nil iff view is nil.
+	viewRng *xrand.Rand
+	// viewChangedAt is the stage of the peer's last view edit (initial
+	// sample, refill, swap, churn adoption or removal replacement). The
+	// refresh swap runs only when a full refresh period has passed since,
+	// so a freshly added helper — still at the exploration-floor
+	// probability and therefore the strategy's argmin — is never evicted
+	// before it has played a period.
+	viewChangedAt int
 }
 
 func newPeer(sel Selector, demand float64) *peer {
@@ -199,6 +245,14 @@ type System struct {
 	// outcome, so the per-stage notification loop skips the type assertion
 	// for pure-bandit populations (the paper's setting: no observers).
 	observers []StageObserver
+
+	// Partial-view engine state (nil/zero when views are not engaged).
+	viewSize    int         // configured view bound (v)
+	viewRefresh int         // refresh period in stages; 0 = disabled
+	viewMaster  *xrand.Rand // source of per-peer view streams
+	viewActions []int       // per-peer view-local action this stage
+	viewMark    []bool      // per-helper in-view marks (refresh scratch)
+	viewIdx     []int       // helper-id scratch (initial-view sampling)
 
 	// midStage is set between SelectStage and FinishStage — the split-phase
 	// protocol the distributed runtime drives — and guards against mixing
@@ -288,6 +342,9 @@ func New(cfg Config) (*System, error) {
 	if cfg.UtilityScale < 0 {
 		return nil, fmt.Errorf("core: UtilityScale=%g", cfg.UtilityScale)
 	}
+	if cfg.ViewSize < 0 {
+		return nil, fmt.Errorf("core: ViewSize=%d", cfg.ViewSize)
+	}
 	rng := xrand.New(cfg.Seed)
 	s := &System{rng: rng}
 
@@ -312,18 +369,42 @@ func New(cfg Config) (*System, error) {
 	}
 	s.scale = scale
 
+	// Partial views engage only when the bound actually binds. When they
+	// do, the view stream is split from the master at this fixed point
+	// (after the helper chains, before the shard streams), and each peer
+	// draws its own sub-stream — view churn is therefore deterministic and
+	// independent of Workers and of the execution backend.
+	if cfg.ViewSize > 0 && cfg.ViewSize < len(cfg.Helpers) {
+		s.viewSize = cfg.ViewSize
+		s.viewRefresh = cfg.ViewRefresh
+		if s.viewRefresh == 0 {
+			s.viewRefresh = DefaultViewRefresh
+		} else if s.viewRefresh < 0 {
+			s.viewRefresh = 0
+		}
+		s.viewMaster = rng.Split()
+		s.viewMark = make([]bool, len(s.helpers))
+		s.viewIdx = make([]int, len(s.helpers))
+	}
+
 	for i := 0; i < cfg.NumPeers; i++ {
-		sel, err := factory(i, len(cfg.Helpers), scale)
+		sel, err := factory(i, s.NewPeerActions(), scale)
 		if err != nil {
 			return nil, fmt.Errorf("core: selector for peer %d: %w", i, err)
 		}
-		if sel.NumActions() != len(cfg.Helpers) {
+		if sel.NumActions() != s.NewPeerActions() {
 			return nil, fmt.Errorf("core: selector for peer %d has %d actions, want %d",
-				i, sel.NumActions(), len(cfg.Helpers))
+				i, sel.NumActions(), s.NewPeerActions())
 		}
-		s.peers = append(s.peers, newPeer(sel, cfg.DemandPerPeer))
+		if err := s.checkViewCompatible(sel); err != nil {
+			return nil, fmt.Errorf("core: selector for peer %d: %w", i, err)
+		}
+		p := newPeer(sel, cfg.DemandPerPeer)
+		s.attachView(p)
+		s.peers = append(s.peers, p)
 	}
 	s.actions = make([]int, len(s.peers))
+	s.viewActions = make([]int, len(s.peers))
 	s.loads = make([]int, len(s.helpers))
 	s.caps = make([]float64, len(s.helpers))
 	s.rates = make([]float64, len(s.peers))
@@ -354,6 +435,145 @@ func (s *System) rebuildObservers() {
 	for _, p := range s.peers {
 		if obs, ok := p.sel.(StageObserver); ok {
 			s.observers = append(s.observers, obs)
+		}
+	}
+}
+
+// NewPeerActions returns the action-set size a newly joining peer's
+// selector must have: the view bound when partial views are engaged
+// (never more than the current helper count), the full helper count
+// otherwise. Backends building mid-run selectors size them with this
+// rather than NumHelpers.
+func (s *System) NewPeerActions() int {
+	if s.viewMaster == nil {
+		return len(s.helpers)
+	}
+	if s.viewSize < len(s.helpers) {
+		return s.viewSize
+	}
+	return len(s.helpers)
+}
+
+// PeerView returns a copy of peer i's view (global helper ids in
+// view-local order), or nil when the peer sees the full helper set.
+func (s *System) PeerView(i int) []int {
+	if s.peers[i].view == nil {
+		return nil
+	}
+	return s.peers[i].view.Ids()
+}
+
+// checkViewCompatible rejects selectors that cannot run behind a partial
+// view. StageObserver policies read the GLOBAL per-helper stage arrays
+// (loads, capacities) but play view-local action indices, so under a
+// partial view they would silently act on the wrong helpers — refuse them
+// up front instead. Pure bandit policies (the paper's setting) are
+// unaffected: their feedback is already view-local.
+func (s *System) checkViewCompatible(sel Selector) error {
+	if s.viewMaster == nil {
+		return nil
+	}
+	if _, ok := sel.(StageObserver); ok {
+		return fmt.Errorf("policy %T observes global stage state, which partial views (ViewSize=%d) cannot route view-locally", sel, s.viewSize)
+	}
+	return nil
+}
+
+// attachView gives a peer its partial view when views are engaged: a
+// private RNG sub-stream and a uniform sample of NewPeerActions() helpers.
+func (s *System) attachView(p *peer) {
+	if s.viewMaster == nil {
+		return
+	}
+	p.viewRng = s.viewMaster.Split()
+	v := s.NewPeerActions()
+	// Partial Fisher-Yates over the helper-id scratch: the first v swapped
+	// entries are a uniform sample without replacement.
+	idx := s.viewIdx[:len(s.helpers)]
+	for j := range idx {
+		idx[j] = j
+	}
+	ids := make([]int, v)
+	for k := 0; k < v; k++ {
+		j := k + p.viewRng.Intn(len(idx)-k)
+		idx[k], idx[j] = idx[j], idx[k]
+		ids[k] = idx[k]
+	}
+	p.view = regret.NewView(ids)
+	p.viewChangedAt = s.stage
+}
+
+// sampleUnseen returns a uniformly sampled helper id outside the peer's
+// view. The caller guarantees at least one unseen helper exists.
+func (s *System) sampleUnseen(p *peer) int {
+	mark := s.viewMark[:len(s.helpers)]
+	n := p.view.Len()
+	for k := 0; k < n; k++ {
+		mark[p.view.Global(k)] = true
+	}
+	r := p.viewRng.Intn(len(s.helpers) - n)
+	pick := -1
+	for j, in := range mark {
+		if in {
+			continue
+		}
+		if r == 0 {
+			pick = j
+			break
+		}
+		r--
+	}
+	for k := 0; k < n; k++ {
+		mark[p.view.Global(k)] = false
+	}
+	return pick
+}
+
+// refreshViews is the periodic partial-view maintenance pass (every
+// ViewRefresh stages, at the top of the stage, before selection): each
+// partial-view peer first refills its view to the ViewSize bound with
+// uniformly sampled unseen helpers (views shrink when an in-view helper
+// is removed); if the view has gone a full refresh period without any
+// edit, it instead swaps its lowest-probability in-view helper for a
+// uniformly sampled unseen one — the exploration that lets a bounded
+// view eventually price every helper. The swap is deferred whenever the
+// view changed within the period (a refill this pass, a churn adoption,
+// a removal replacement): the added action still sits at the
+// exploration-floor probability, so it would itself be the argmin and
+// the swap would evict it before it played a single stage. All edits run
+// through the selector's AddAction/RemoveAction churn seam (add before
+// remove, so the action set never empties) on the peer's own RNG stream.
+// Policies without dynamic action sets keep their initial sample; the
+// probability-guided swap additionally needs the RTHS learner's mixed
+// strategy, so non-learner dynamic policies refill but never swap.
+func (s *System) refreshViews() {
+	h := len(s.helpers)
+	for _, p := range s.peers {
+		if p.view == nil {
+			continue
+		}
+		dyn, ok := p.sel.(DynamicSelector)
+		if !ok {
+			continue
+		}
+		target := s.viewSize
+		if target > h {
+			target = h
+		}
+		for p.view.Len() < target {
+			u := s.sampleUnseen(p)
+			dyn.AddAction()
+			p.view.Add(u)
+			p.viewChangedAt = s.stage
+		}
+		if p.viewChangedAt+s.viewRefresh <= s.stage && p.lrn != nil && p.view.Len() < h && p.view.Len() > 0 {
+			k := p.lrn.MinProbAction()
+			u := s.sampleUnseen(p)
+			dyn.AddAction()
+			dyn.RemoveAction(k)
+			p.view.Add(u)
+			p.view.RemoveLocal(k)
+			p.viewChangedAt = s.stage
 		}
 	}
 }
@@ -450,9 +670,18 @@ func (s *System) stepInto(res *StageResult) error {
 	return s.finishInto(res)
 }
 
-// selectPhase runs the simultaneous-selection pass, filling s.actions and
-// s.loads.
+// selectPhase runs the simultaneous-selection pass, filling s.actions
+// (global helper ids) and s.loads; partial-view peers select a view-local
+// action (kept in s.viewActions for the feedback pass) that is routed to
+// its global helper id here. It also hosts the periodic view-refresh
+// pass, which must run at the top of a stage: selectPhase is the one
+// point both the whole-stage engine (Step) and the split-phase protocol
+// (SelectStage, driven by the distributed runtime) pass through, so both
+// backends refresh on exactly the same stages.
 func (s *System) selectPhase() error {
+	if s.viewMaster != nil && s.viewRefresh > 0 && s.stage > 0 && s.stage%s.viewRefresh == 0 {
+		s.refreshViews()
+	}
 	if s.workers > 1 {
 		if err := s.selectSharded(); err != nil {
 			return err
@@ -463,6 +692,13 @@ func (s *System) selectPhase() error {
 		}
 		for i, p := range s.peers {
 			a := p.selectHelper(s.rng)
+			if p.view != nil {
+				if a < 0 || a >= p.view.Len() {
+					return fmt.Errorf("core: peer %d selected invalid view action %d", i, a)
+				}
+				s.viewActions[i] = a
+				a = p.view.Global(a)
+			}
 			if a < 0 || a >= len(s.helpers) {
 				return fmt.Errorf("core: peer %d selected invalid helper %d", i, a)
 			}
@@ -505,7 +741,13 @@ func (s *System) finishInto(res *StageResult) error {
 					serverLoad += short
 				}
 			}
-			if err := p.feedback(s.actions[i], r/s.scale); err != nil {
+			// The selector is fed its own (view-local) action back; the
+			// realized rate was routed through the global id above.
+			act := s.actions[i]
+			if p.view != nil {
+				act = s.viewActions[i]
+			}
+			if err := p.feedback(act, r/s.scale); err != nil {
 				return fmt.Errorf("core: peer %d feedback: %w", i, err)
 			}
 		}
@@ -569,7 +811,18 @@ func (s *System) shardSelect(k int) {
 	rng := s.shardRngs[k]
 	h := len(s.helpers)
 	for i := k; i < len(s.peers); i += s.workers {
-		a := s.peers[i].selectHelper(rng)
+		p := s.peers[i]
+		a := p.selectHelper(rng)
+		if p.view != nil {
+			if a < 0 || a >= p.view.Len() {
+				if s.shards[k].err == nil {
+					s.shards[k].err = fmt.Errorf("core: peer %d selected invalid view action %d", i, a)
+				}
+				a = 0 // keep the buffers consistent; the error aborts the stage
+			}
+			s.viewActions[i] = a
+			a = p.view.Global(a)
+		}
 		if a < 0 || a >= h {
 			if s.shards[k].err == nil {
 				s.shards[k].err = fmt.Errorf("core: peer %d selected invalid helper %d", i, a)
@@ -598,7 +851,11 @@ func (s *System) shardFeedback(k int) {
 				st.serverLoad += short
 			}
 		}
-		if uerr := p.feedback(s.actions[i], r/s.scale); uerr != nil && st.err == nil {
+		act := s.actions[i]
+		if p.view != nil {
+			act = s.viewActions[i]
+		}
+		if uerr := p.feedback(act, r/s.scale); uerr != nil && st.err == nil {
 			st.err = fmt.Errorf("core: peer %d feedback: %w", i, uerr)
 		}
 	}
@@ -742,24 +999,34 @@ func (s *System) Run(stages int, observe func(StageResult)) error {
 }
 
 // AddPeer joins a new peer mid-run using the given selector (nil builds the
-// default RTHS learner). Returns the new peer's index.
+// default RTHS learner, sized to NewPeerActions). Returns the new peer's
+// index.
 func (s *System) AddPeer(sel Selector, demand float64) (int, error) {
+	if s.midStage {
+		return 0, errors.New("core: AddPeer during an open SelectStage/FinishStage pair (peer churn must happen between stages)")
+	}
 	if sel == nil {
 		var err error
-		sel, err = regret.New(regret.Defaults(len(s.helpers), 1))
+		sel, err = regret.New(regret.Defaults(s.NewPeerActions(), 1))
 		if err != nil {
 			return 0, err
 		}
 	}
-	if sel.NumActions() != len(s.helpers) {
+	if sel.NumActions() != s.NewPeerActions() {
 		return 0, fmt.Errorf("core: AddPeer selector has %d actions, want %d",
-			sel.NumActions(), len(s.helpers))
+			sel.NumActions(), s.NewPeerActions())
 	}
 	if demand < 0 {
 		return 0, fmt.Errorf("core: AddPeer demand %g", demand)
 	}
-	s.peers = append(s.peers, newPeer(sel, demand))
+	if err := s.checkViewCompatible(sel); err != nil {
+		return 0, fmt.Errorf("core: AddPeer: %w", err)
+	}
+	p := newPeer(sel, demand)
+	s.attachView(p)
+	s.peers = append(s.peers, p)
 	s.actions = append(s.actions, 0)
+	s.viewActions = append(s.viewActions, 0)
 	s.rates = append(s.rates, 0)
 	// Append-only: joining can't change earlier peers' observer status,
 	// so churn-heavy workloads don't pay a full O(n) rescan per join.
@@ -771,11 +1038,15 @@ func (s *System) AddPeer(sel Selector, demand float64) (int, error) {
 
 // RemovePeer removes peer i (departure churn). Later peers shift down.
 func (s *System) RemovePeer(i int) error {
+	if s.midStage {
+		return errors.New("core: RemovePeer during an open SelectStage/FinishStage pair (peer churn must happen between stages)")
+	}
 	if i < 0 || i >= len(s.peers) {
 		return fmt.Errorf("core: RemovePeer(%d) with %d peers", i, len(s.peers))
 	}
 	s.peers = append(s.peers[:i], s.peers[i+1:]...)
 	s.actions = s.actions[:len(s.peers)]
+	s.viewActions = s.viewActions[:len(s.peers)]
 	s.rates = s.rates[:len(s.peers)]
 	s.rebuildObservers()
 	return nil
@@ -803,10 +1074,28 @@ func (s *System) SetHelperLevels(j int, levels []float64, switchProb float64) er
 	return nil
 }
 
-// AddHelper joins a new helper mid-run. Every peer's policy must support
-// dynamic action sets.
+// AddHelper joins a new helper mid-run. Full-view peers grow their action
+// set by one; partial-view peers below the ViewSize bound adopt the new
+// helper immediately (their view has room), while peers with full views
+// leave it to the periodic refresh pass — so a helper migrating in
+// touches only the peers whose views can see it. Every touched peer's
+// policy must support dynamic action sets. Helper churn is part of the
+// between-stages protocol: calling it inside an open
+// SelectStage/FinishStage pair is an error (the learners' pending
+// selections would be invalidated, surfacing later as a baffling
+// "does not match selected action -1" feedback failure).
 func (s *System) AddHelper(spec HelperSpec) error {
+	if s.midStage {
+		return errors.New("core: AddHelper during an open SelectStage/FinishStage pair (helper churn must happen between stages)")
+	}
 	for i, p := range s.peers {
+		if p.view != nil {
+			// Partial-view peers adopt the helper only if their view has
+			// room AND their policy supports churn; otherwise they simply
+			// don't see it (the refresh pass may sample it in later), so
+			// they never block the addition.
+			continue
+		}
 		if _, ok := p.sel.(DynamicSelector); !ok {
 			return fmt.Errorf("core: peer %d policy %T does not support helper churn", i, p.sel)
 		}
@@ -830,15 +1119,39 @@ func (s *System) AddHelper(spec HelperSpec) error {
 	for k := range s.shardLoads {
 		s.shardLoads[k] = append(s.shardLoads[k], 0)
 	}
+	if s.viewMaster != nil {
+		s.viewMark = append(s.viewMark, false)
+		s.viewIdx = append(s.viewIdx, 0)
+	}
+	newID := len(s.helpers) - 1
 	for _, p := range s.peers {
-		p.sel.(DynamicSelector).AddAction()
+		if p.view == nil {
+			p.sel.(DynamicSelector).AddAction()
+			continue
+		}
+		if p.view.Len() < s.viewSize {
+			if dyn, ok := p.sel.(DynamicSelector); ok {
+				dyn.AddAction()
+				p.view.Add(newID)
+				p.viewChangedAt = s.stage
+			}
+		}
 	}
 	return nil
 }
 
-// RemoveHelper removes helper j (crash / departure). Every peer's policy
-// must support dynamic action sets; indices above j shift down.
+// RemoveHelper removes helper j (crash / departure). Full-view peers drop
+// action j; partial-view peers are touched only when j is in their view —
+// they drop the view-local action (and, if j was their only in-view
+// helper, immediately swap in a uniformly sampled replacement so the
+// action set never empties), everyone else just renumbers. Every touched
+// peer's policy must support dynamic action sets; helper indices above j
+// shift down. Like AddHelper, it is rejected inside an open
+// SelectStage/FinishStage pair.
 func (s *System) RemoveHelper(j int) error {
+	if s.midStage {
+		return errors.New("core: RemoveHelper during an open SelectStage/FinishStage pair (helper churn must happen between stages)")
+	}
 	if j < 0 || j >= len(s.helpers) {
 		return fmt.Errorf("core: RemoveHelper(%d) with %d helpers", j, len(s.helpers))
 	}
@@ -846,9 +1159,32 @@ func (s *System) RemoveHelper(j int) error {
 		return errors.New("core: RemoveHelper would leave no helpers")
 	}
 	for i, p := range s.peers {
+		if p.view != nil && p.view.Local(j) < 0 {
+			continue // out of view: only renumbered, never churned
+		}
 		if _, ok := p.sel.(DynamicSelector); !ok {
 			return fmt.Errorf("core: peer %d policy %T does not support helper churn", i, p.sel)
 		}
+	}
+	for _, p := range s.peers {
+		if p.view == nil {
+			continue
+		}
+		if k := p.view.Local(j); k >= 0 {
+			dyn := p.sel.(DynamicSelector)
+			if p.view.Len() == 1 {
+				// Last in-view helper: swap in a replacement (add before
+				// remove, so the selector's action set never empties).
+				// len(s.helpers) >= 2 here, so an unseen helper exists.
+				u := s.sampleUnseen(p)
+				dyn.AddAction()
+				p.view.Add(u)
+			}
+			dyn.RemoveAction(k)
+			p.view.RemoveLocal(k)
+			p.viewChangedAt = s.stage
+		}
+		p.view.ShiftDown(j)
 	}
 	s.helpers = append(s.helpers[:j], s.helpers[j+1:]...)
 	s.loads = s.loads[:len(s.helpers)]
@@ -858,8 +1194,14 @@ func (s *System) RemoveHelper(j int) error {
 	for k := range s.shardLoads {
 		s.shardLoads[k] = s.shardLoads[k][:len(s.helpers)]
 	}
+	if s.viewMaster != nil {
+		s.viewMark = s.viewMark[:len(s.helpers)]
+		s.viewIdx = s.viewIdx[:len(s.helpers)]
+	}
 	for _, p := range s.peers {
-		p.sel.(DynamicSelector).RemoveAction(j)
+		if p.view == nil {
+			p.sel.(DynamicSelector).RemoveAction(j)
+		}
 	}
 	return nil
 }

@@ -100,6 +100,14 @@ type Config struct {
 	// each channel use its own pool maximum). Multi-channel deployments
 	// with helper migration must set one shared scale.
 	UtilityScale float64
+	// ViewSize bounds each peer's helper candidate view (see
+	// core.Config.ViewSize); 0 keeps full views. Applied per channel
+	// against the channel's own pool size, exactly as the shared-memory
+	// cluster backend does, so the two backends stay bit-identical.
+	ViewSize int
+	// ViewRefresh is the partial-view refresh period in stages (see
+	// core.Config.ViewRefresh; 0 = default, negative disables).
+	ViewRefresh int
 	// Link adjudicates every data-plane message (nil = perfect links:
 	// no drops, no delay, no extra randomness consumed).
 	Link LinkModel
@@ -308,7 +316,7 @@ func (m *manager) applyOps(ops []op) {
 		case opAddPeer:
 			var sel core.Selector
 			if m.factory != nil {
-				s, err := m.factory(m.sys.NumPeers(), m.sys.NumHelpers(), m.sys.UtilityScale())
+				s, err := m.factory(m.sys.NumPeers(), m.sys.NewPeerActions(), m.sys.UtilityScale())
 				if err != nil {
 					m.err = fmt.Errorf("distsim: channel %q join policy: %w", m.name, err)
 					return
@@ -533,6 +541,8 @@ func New(cfg Config) (*Runtime, error) {
 			Seed:          cc.Seed,
 			DemandPerPeer: cc.DemandPerPeer,
 			UtilityScale:  cfg.UtilityScale,
+			ViewSize:      cfg.ViewSize,
+			ViewRefresh:   cfg.ViewRefresh,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("distsim: channel %q: %w", cc.Name, err)

@@ -49,7 +49,15 @@ type ClusterScenario struct {
 	// ChurnSeed drives workload generation (kept separate from Seed so the
 	// exogenous workload and the engine's internal streams never alias).
 	ChurnSeed uint64
-	Allocator cluster.AllocatorKind
+	// ViewSize bounds each viewer's helper candidate view inside its
+	// channel (0 = full views; see cluster.Config.ViewSize). Partial views
+	// keep per-viewer learner state O(ViewSize²) however large the
+	// channel pools grow.
+	ViewSize int
+	// ViewRefresh is the partial-view refresh period in stages (0 =
+	// default, negative disables; see cluster.Config.ViewRefresh).
+	ViewRefresh int
+	Allocator   cluster.AllocatorKind
 	// Backend selects the execution backend (shared-memory worker pool or
 	// the distsim message-passing runtime). With cluster.BackendDistsim,
 	// Close the built cluster to join its node goroutines.
@@ -123,6 +131,23 @@ func ClusterChurn() ClusterScenario {
 	return s
 }
 
+// ClusterViews is the partial-view preset: few channels with deep helper
+// pools — the shape that makes full-view learners expensive (per-channel
+// m ≈ 32, so a full-view proxy matrix is 32² floats per viewer) — with
+// each viewer running on a ViewSize=8 candidate view instead (O(8²)
+// state, the §III partial-view model). Markov switching and the flash
+// crowd stay on, so views compose with churn and re-allocation.
+func ClusterViews() ClusterScenario {
+	s := ClusterSmall()
+	s.Channels = 4
+	s.TotalPeers = 240
+	s.Helpers = 128
+	s.ViewSize = 8
+	s.ViewRefresh = 25
+	s.FlashChannel = 3
+	return s
+}
+
 // ChurnIDBase is the offset applied to replayed workload peer ids so they
 // sit far above anything the scenario layer (initial audiences, flash
 // crowds) allocates.
@@ -177,6 +202,8 @@ func (s ClusterScenario) Build() (cluster.Config, error) {
 		Hysteresis:  s.Hysteresis,
 		Workers:     s.Workers,
 		Seed:        s.Seed,
+		ViewSize:    s.ViewSize,
+		ViewRefresh: s.ViewRefresh,
 	}
 	if s.SwitchProb > 0 {
 		cfg.Switching = &cluster.SwitchingConfig{SwitchProb: s.SwitchProb, ZipfS: s.ZipfS}

@@ -243,6 +243,20 @@ func (l *Learner) Probabilities() []float64 {
 	return out
 }
 
+// MinProbAction returns the action the current mixed strategy plays with
+// the lowest probability (lowest index on ties) — the eviction candidate
+// of the partial-view refresh policy (the helper the learner is least
+// invested in). O(m), allocation-free.
+func (l *Learner) MinProbAction() int {
+	minK := 0
+	for k := 1; k < l.m; k++ {
+		if l.probs[k] < l.probs[minK] {
+			minK = k
+		}
+	}
+	return minK
+}
+
 // Select samples an action from the current mixed strategy. The strategy
 // is maintained as a valid simplex by recomputeProbs, so the sampling can
 // use the single-pass normalized path.

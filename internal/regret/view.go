@@ -1,0 +1,85 @@
+package regret
+
+import "fmt"
+
+// View is a peer's bounded helper candidate subset — the paper's §III
+// partial-view model. The learner plays view-local action indices [0, Len);
+// the View maps each of them to the global helper id the system actually
+// serves, and back. Keeping the mapping next to the learner lets the
+// system run every peer's selection policy on v = Len actions (O(v²)
+// proxy-matrix state, O(v) updates) while the helper pool grows to
+// hundreds of helpers.
+//
+// The View's entries are kept parallel to the learner's action indices:
+// every structural edit (Add/RemoveLocal) must be mirrored by the matching
+// AddAction/RemoveAction on the learner, in the same order. A View is not
+// safe for concurrent use.
+type View struct {
+	ids []int
+}
+
+// NewView builds a view over the given global helper ids. The slice is
+// owned by the View afterwards; one extra capacity slot is reserved so the
+// refresh policy's add-then-remove swap never reallocates.
+func NewView(ids []int) *View {
+	if cap(ids) < len(ids)+1 {
+		grown := make([]int, len(ids), len(ids)+1)
+		copy(grown, ids)
+		ids = grown
+	}
+	return &View{ids: ids}
+}
+
+// Len returns the number of helpers in view.
+func (v *View) Len() int { return len(v.ids) }
+
+// Global maps a view-local action index to its global helper id. The
+// caller guarantees 0 <= local < Len (the hot-path contract; Select
+// results are range-checked by the system before mapping).
+func (v *View) Global(local int) int { return v.ids[local] }
+
+// Local returns the view-local index of the global helper id, or -1 when
+// the helper is out of view. O(Len) — used only on the churn path
+// (helper migration, refresh), never per stage.
+func (v *View) Local(global int) int {
+	for k, id := range v.ids {
+		if id == global {
+			return k
+		}
+	}
+	return -1
+}
+
+// Ids returns a copy of the view's global helper ids in view-local order
+// (for inspection in tests and tools).
+func (v *View) Ids() []int { return append([]int(nil), v.ids...) }
+
+// Add appends the global helper id to the view (the new helper takes the
+// next view-local index, matching Learner.AddAction's placement).
+func (v *View) Add(global int) {
+	if v.Local(global) >= 0 {
+		panic(fmt.Sprintf("regret: View.Add(%d) already in view", global))
+	}
+	v.ids = append(v.ids, global)
+}
+
+// RemoveLocal deletes view-local index k; later indices shift down,
+// matching Learner.RemoveAction's index discipline.
+func (v *View) RemoveLocal(k int) {
+	if k < 0 || k >= len(v.ids) {
+		panic(fmt.Sprintf("regret: View.RemoveLocal(%d) with %d in view", k, len(v.ids)))
+	}
+	v.ids = append(v.ids[:k], v.ids[k+1:]...)
+}
+
+// ShiftDown renumbers the view after the removal of global helper id j
+// from the system: every in-view id greater than j decrements (global
+// helper indices above a removed helper shift down). The removed id
+// itself must already have been dropped via RemoveLocal.
+func (v *View) ShiftDown(j int) {
+	for k, id := range v.ids {
+		if id > j {
+			v.ids[k] = id - 1
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package regret
+
+import (
+	"testing"
+
+	"rths/internal/xrand"
+)
+
+func TestViewMapping(t *testing.T) {
+	v := NewView([]int{7, 2, 9})
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	for local, want := range []int{7, 2, 9} {
+		if got := v.Global(local); got != want {
+			t.Fatalf("Global(%d) = %d, want %d", local, got, want)
+		}
+		if got := v.Local(want); got != local {
+			t.Fatalf("Local(%d) = %d, want %d", want, got, local)
+		}
+	}
+	if got := v.Local(4); got != -1 {
+		t.Fatalf("Local(out of view) = %d, want -1", got)
+	}
+}
+
+func TestViewAddRemoveShift(t *testing.T) {
+	v := NewView([]int{7, 2, 9})
+	v.Add(4)
+	if v.Len() != 4 || v.Global(3) != 4 {
+		t.Fatalf("after Add: %v", v.Ids())
+	}
+	// Remove helper 2 from view, then renumber after global id 2 leaves
+	// the system: 7->6, 9->8, 4->3.
+	v.RemoveLocal(v.Local(2))
+	v.ShiftDown(2)
+	want := []int{6, 8, 3}
+	got := v.Ids()
+	if len(got) != len(want) {
+		t.Fatalf("after remove+shift: %v", got)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("after remove+shift: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestViewGuards(t *testing.T) {
+	v := NewView([]int{1, 2})
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Add duplicate", func() { v.Add(2) })
+	mustPanic("RemoveLocal out of range", func() { v.RemoveLocal(2) })
+	mustPanic("RemoveLocal negative", func() { v.RemoveLocal(-1) })
+}
+
+// Ids must return a copy: mutating it cannot corrupt the mapping.
+func TestViewIdsIsACopy(t *testing.T) {
+	v := NewView([]int{5, 6})
+	ids := v.Ids()
+	ids[0] = 99
+	if v.Global(0) != 5 {
+		t.Fatalf("Ids aliases the view: %v", v.Ids())
+	}
+}
+
+// MinProbAction must track the mixed strategy's argmin: feeding one action
+// high utility makes every other action's probability sink toward the
+// floor, and the argmin must be one of the starved actions, stable across
+// calls (no allocation, lowest index on ties).
+func TestMinProbAction(t *testing.T) {
+	l := MustNew(Defaults(4, 1))
+	if got := l.MinProbAction(); got != 0 {
+		t.Fatalf("uniform start: MinProbAction = %d, want 0 (lowest index on ties)", got)
+	}
+	r := xrand.New(11)
+	for i := 0; i < 3000; i++ {
+		a := l.Select(r)
+		u := 0.0
+		if a == 2 {
+			u = 1.0
+		}
+		if err := l.Update(a, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := l.MinProbAction()
+	if k == 2 {
+		t.Fatalf("MinProbAction picked the best arm (probs %v)", l.Probabilities())
+	}
+	probs := l.Probabilities()
+	for j, p := range probs {
+		if p < probs[k] {
+			t.Fatalf("MinProbAction = %d (p=%g) but action %d has p=%g", k, probs[k], j, p)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { l.MinProbAction() }); n != 0 {
+		t.Fatalf("MinProbAction allocates %g/op", n)
+	}
+}

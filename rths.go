@@ -141,7 +141,14 @@ type (
 
 // NewSystem builds a single-channel helper-selection system. With a nil
 // Factory every peer runs the paper's RTHS learner with calibrated
-// defaults.
+// defaults. SystemConfig.ViewSize bounds each peer's helper candidate
+// view (the paper's §III partial-view model): 0 wires every learner to
+// the full helper set; a positive bound below the construction-time
+// helper count keeps per-peer learner state at O(ViewSize²) however
+// large that pool is. The discipline is fixed at construction: a
+// ViewSize at or above the initial helper count is exactly the
+// full-view engine (bit-for-bit), including through later AddHelper
+// growth.
 func NewSystem(cfg SystemConfig) (*System, error) { return core.New(cfg) }
 
 // DefaultHelperSpec is the paper's [700,800,900] kbps slowly-switching
@@ -246,6 +253,17 @@ func ClusterSmall() ClusterScenario { return experiment.ClusterSmall() }
 // through Cluster.Replay, composing with Markov switching, a flash crowd
 // and helper re-allocation epochs.
 func ClusterChurn() ClusterScenario { return experiment.ClusterChurn() }
+
+// ClusterViews is the partial-view scenario: deep per-channel helper
+// pools with every viewer selecting over a bounded candidate view (the
+// paper's §III view model, SystemConfig.ViewSize), so learner state is
+// O(view²) instead of O(pool²) and helper migration touches only the
+// viewers whose views contain the moved helper.
+func ClusterViews() ClusterScenario { return experiment.ClusterViews() }
+
+// DefaultViewRefresh is the default partial-view refresh period in stages
+// (see SystemConfig.ViewRefresh).
+const DefaultViewRefresh = core.DefaultViewRefresh
 
 // NewDistributed builds the single-channel message-passing runtime (the
 // compatibility surface over the batched distsim runtime: one channel
