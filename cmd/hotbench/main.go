@@ -173,6 +173,7 @@ type clusterSpec struct {
 	workers  int
 	backend  rths.ClusterBackend
 	churn    bool // replay a generated churn trace through Cluster.Replay
+	faults   bool // run under the ClusterFaults lossy-link + fault plan
 	fullOnly bool // measured only with -full; excluded from the gate
 }
 
@@ -193,6 +194,11 @@ func defaultClusterScenarios(full bool) []clusterSpec {
 		// so these rows bound the replay overhead against cluster-4ch-*.
 		{name: "churn-replay-4ch-seq", channels: 4, peers: 1000, helpers: 16, churn: true},
 		{name: "churn-replay-4ch-distsim", channels: 4, peers: 1000, helpers: 16, backend: rths.ClusterBackendDistsim, churn: true},
+		// The fault-plan row: the distsim backend under the ClusterFaults
+		// preset's lossy queueing links, helper crash, regional partition
+		// and failure detector. Bounds the fault adjudication + detector
+		// overhead against cluster-4ch-distsim (same shape, clean links).
+		{name: "cluster-faults-distsim", channels: 4, peers: 1000, helpers: 16, backend: rths.ClusterBackendDistsim, faults: true},
 	}
 	if full {
 		specs = append(specs, clusterSpec{
@@ -210,6 +216,11 @@ func defaultClusterScenarios(full bool) []clusterSpec {
 // generation itself is excluded from the timing).
 func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
 	sc := rths.ClusterSmall()
+	if spec.faults {
+		// Keep the fault schedule, link model and detector; the shape
+		// overrides below make the row comparable to cluster-4ch-distsim.
+		sc = rths.ClusterFaults()
+	}
 	sc.Channels, sc.TotalPeers, sc.Helpers, sc.Workers = spec.channels, spec.peers, spec.helpers, spec.workers
 	sc.Backend = spec.backend
 	sc.EpochStages = 25

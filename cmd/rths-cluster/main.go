@@ -13,12 +13,24 @@
 //	rths-cluster -preset small -churn-arrival 2 -churn-lifetime 50 -churn-switch 0.01
 //	rths-cluster -preset views
 //	rths-cluster -preset small -view-size 4 -view-refresh 25
+//	rths-cluster -preset faults
+//	rths-cluster -preset faults -detector-suspect 0
+//	rths-cluster -preset faults -fault-loss-links -fault-delay 0.1
 //
 // -view-size bounds every viewer's helper candidate view (the paper's
 // §III partial-view model): selection runs on at most that many helpers
 // per viewer, with a periodic refresh swapping the least-played in-view
 // helper for an unseen one, so learner state stays O(view²) however deep
 // the channel pools grow. 0 keeps full views.
+//
+// -preset faults runs the distsim backend under an injected fault plan:
+// lossy queueing links, one fail-stop helper crash, and a correlated
+// regional partition isolating one fault domain of helpers mid-run,
+// with the cluster's failure detector evicting unresponsive helpers and
+// readmitting them after a probation. The -fault-* flags reshape the
+// plan, -fault-loss-links switches late batches from queueing (served
+// next round) to loss semantics, and -detector-suspect 0 disables the
+// detector to expose the undefended baseline.
 //
 // With a churn workload configured (-preset churn, or -churn-arrival > 0)
 // the run replays a generated Poisson/Zipf viewer trace through the
@@ -83,7 +95,7 @@ func parseBackend(name string) (rths.ClusterBackend, error) {
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("rths-cluster", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	preset := fs.String("preset", "small", "scenario preset: small, scale, churn or views")
+	preset := fs.String("preset", "small", "scenario preset: small, scale, churn, views or faults")
 	channels := fs.Int("channels", 0, "override channel count")
 	peers := fs.Int("peers", 0, "override total initial viewers")
 	helpers := fs.Int("helpers", 0, "override global helper pool size")
@@ -98,6 +110,18 @@ func run(args []string, out, errOut io.Writer) error {
 	churnSwitch := fs.Float64("churn-switch", -1, "override replayed viewers' per-stage zap probability")
 	viewSize := fs.Int("view-size", -1, "override per-viewer helper view bound (0 = full views)")
 	viewRefresh := fs.Int("view-refresh", viewRefreshUnset, "override view refresh period in stages (0 = engine default, negative disables)")
+	faultDomains := fs.Int("fault-domains", -1, "override fault-domain count (helpers striped h mod domains; <2 disables partitions)")
+	faultPartDomain := fs.Int("fault-partition-domain", -1, "override the partitioned fault domain")
+	faultPartFrom := fs.Int("fault-partition-from", -1, "override the partition window start stage")
+	faultPartUntil := fs.Int("fault-partition-until", -1, "override the partition window end stage (<= start disables)")
+	faultCrashHelper := fs.Int("fault-crash-helper", -1, "override the crashed helper id")
+	faultCrashFrom := fs.Int("fault-crash-from", -1, "override the crash window start stage")
+	faultCrashUntil := fs.Int("fault-crash-until", -1, "override the crash window end stage (<= start disables)")
+	faultDrop := fs.Float64("fault-drop", -1, "override the per-message drop probability")
+	faultDelay := fs.Float64("fault-delay", -1, "override the per-message delay probability")
+	faultLossLinks := fs.Bool("fault-loss-links", false, "use loss semantics for late batches (disables queueing)")
+	detectorSuspect := fs.Int("detector-suspect", -1, "override the detector's consecutive-miss eviction threshold (0 disables the detector)")
+	detectorReadmit := fs.Int("detector-readmit", -1, "override the detector's readmission probation in stages")
 	allocName := fs.String("alloc", "", "allocator: greedy, proportional or static")
 	backendName := fs.String("backend", "", "execution backend: memory or distsim")
 	workers := fs.Int("workers", -1, "override channel-stepping worker count")
@@ -116,8 +140,10 @@ func run(args []string, out, errOut io.Writer) error {
 		sc = rths.ClusterChurn()
 	case "views":
 		sc = rths.ClusterViews()
+	case "faults":
+		sc = rths.ClusterFaults()
 	default:
-		return fmt.Errorf("unknown preset %q (small, scale, churn, views)", *preset)
+		return fmt.Errorf("unknown preset %q (small, scale, churn, views, faults)", *preset)
 	}
 	if *channels > 0 {
 		sc.Channels = *channels
@@ -164,6 +190,45 @@ func run(args []string, out, errOut io.Writer) error {
 	if *viewRefresh != viewRefreshUnset {
 		sc.ViewRefresh = *viewRefresh
 	}
+	if *faultDomains >= 0 {
+		sc.FaultDomains = *faultDomains
+	}
+	if *faultPartDomain >= 0 {
+		sc.PartitionDomain = *faultPartDomain
+	}
+	if *faultPartFrom >= 0 {
+		sc.PartitionFrom = *faultPartFrom
+	}
+	if *faultPartUntil >= 0 {
+		sc.PartitionUntil = *faultPartUntil
+	}
+	if *faultCrashHelper >= 0 {
+		sc.CrashHelper = *faultCrashHelper
+	}
+	if *faultCrashFrom >= 0 {
+		sc.CrashFrom = *faultCrashFrom
+	}
+	if *faultCrashUntil >= 0 {
+		sc.CrashUntil = *faultCrashUntil
+	}
+	if *faultDrop >= 0 {
+		sc.LinkDrop = *faultDrop
+	}
+	if *faultDelay >= 0 {
+		sc.LinkDelay = *faultDelay
+	}
+	if *faultLossLinks {
+		sc.Queueing = false
+	}
+	if *detectorSuspect >= 0 {
+		sc.DetectorSuspect = *detectorSuspect
+		if *detectorSuspect == 0 {
+			sc.DetectorReadmit = 0
+		}
+	}
+	if *detectorReadmit >= 0 {
+		sc.DetectorReadmit = *detectorReadmit
+	}
 	if *allocName != "" {
 		kind, err := parseAllocator(*allocName)
 		if err != nil {
@@ -197,6 +262,7 @@ func run(args []string, out, errOut io.Writer) error {
 	enc := json.NewEncoder(out)
 	var encErr error
 	var moves, switches, joins, leaves int
+	var lateServed, evicted, readmitted, lastDown int
 	var lastRatio, lastContinuity, lastMaxDef float64
 	observe := func(m rths.ClusterEpochMetrics) {
 		if e := enc.Encode(m); e != nil && encErr == nil {
@@ -206,6 +272,10 @@ func run(args []string, out, errOut io.Writer) error {
 		switches += m.Switches
 		joins += m.Joins
 		leaves += m.Leaves
+		lateServed += m.LateServed
+		evicted += m.Evicted
+		readmitted += m.Readmitted
+		lastDown = m.HelpersDown
 		lastRatio, lastContinuity, lastMaxDef = m.WelfareRatio, m.Continuity, m.MaxDeficit
 	}
 	mode := "epochs"
@@ -229,5 +299,10 @@ func run(args []string, out, errOut io.Writer) error {
 		"cluster: %d channels × %d viewers, %d helpers, alloc=%v backend=%v workers=%d view=%d mode=%s | %d epochs × %d stages | moves=%d switches=%d joins=%d leaves=%d | final welfare_ratio=%.4f continuity=%.4f max_deficit=%.0f kbps\n",
 		c.NumChannels(), c.ActivePeers(), c.NumHelpers(), sc.Allocator, sc.Backend, sc.Workers, sc.ViewSize, mode,
 		c.Epoch(), sc.EpochStages, moves, switches, joins, leaves, lastRatio, lastContinuity, lastMaxDef)
+	if evicted > 0 || readmitted > 0 || lateServed > 0 || lastDown > 0 {
+		fmt.Fprintf(errOut,
+			"faults: late_served=%d evicted=%d readmitted=%d helpers_down=%d\n",
+			lateServed, evicted, readmitted, lastDown)
+	}
 	return nil
 }

@@ -39,6 +39,7 @@ func newDistBackend(cfg Config, assign []int, seeds []uint64, scale, startup flo
 		ViewRefresh:  cfg.ViewRefresh,
 		Link:         cfg.Link,
 		LinkSeed:     cfg.LinkSeed,
+		Faults:       cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -73,9 +74,26 @@ func (b *distBackend) step(out []stageData) error {
 			minDeficit: ch.MinDeficit,
 			played:     ch.Played,
 			stalled:    ch.Stalled,
+			lateServed: ch.LateServed,
+			faultMsgs:  ch.FaultMsgs,
 		}
 	}
 	return nil
+}
+
+// eachReply walks the last round's capacity-reply ledger in channel then
+// pool order (the deterministic order the detector's bookkeeping needs).
+// A channel that failed mid-round reports no ledger that round.
+func (b *distBackend) eachReply(fn func(helper int, missed bool)) {
+	if b.last == nil {
+		return
+	}
+	for ci := range b.last.Channels {
+		ch := &b.last.Channels[ci]
+		for j, id := range ch.PoolIDs {
+			fn(id, ch.Missed[j])
+		}
+	}
 }
 
 // lastResult rebuilds the core.StageResult view from the channel's round

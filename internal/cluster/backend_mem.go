@@ -148,6 +148,10 @@ func (b *memBackend) step(out []stageData) error {
 
 func (b *memBackend) lastResult(ci int) core.StageResult { return b.channels[ci].last }
 
+// eachReply is a no-op: the shared-memory backend has no links, so every
+// exchange trivially succeeds and there is no ledger to walk.
+func (b *memBackend) eachReply(fn func(helper int, missed bool)) {}
+
 func (b *memBackend) close() error { return nil }
 
 // step advances one channel one stage and fills its per-stage output slot.

@@ -194,14 +194,12 @@ type Config struct {
 	// view, so per-viewer learner state is O(ViewSize²) and helper
 	// migration touches only the viewers whose views contain the moved
 	// helper. 0 keeps full views (today's behavior bit-for-bit). The
-	// bound follows core's construction-time discipline, applied per
-	// channel and identically on both backends: views engage in a channel
-	// only when its INITIAL pool exceeds ViewSize. A channel built with a
-	// pool at or below the bound runs full-view for its lifetime — if
-	// migration later grows its pool well past ViewSize, its resident
-	// learners grow with it — so size ViewSize below the smallest initial
-	// per-channel pool you want bounded (see the ROADMAP follow-on on
-	// dynamic engagement).
+	// bound follows core's engagement discipline, applied per channel and
+	// identically on both backends: views engage in a channel when its
+	// pool exceeds ViewSize — at construction if the initial pool is
+	// already larger, or lazily when migration first grows the pool past
+	// the bound (resident learners then shrink their views down to
+	// ViewSize, keeping their highest-probability helpers).
 	ViewSize int
 	// ViewRefresh is the partial-view refresh period in stages (see
 	// core.Config.ViewRefresh; 0 = default, negative disables).
@@ -212,6 +210,20 @@ type Config struct {
 	// fail. LinkSeed derives the link streams.
 	Link     distsim.LinkModel
 	LinkSeed uint64
+	// Faults, with BackendDistsim, schedules deterministic faults on the
+	// runtime (see distsim.FaultPlan): fail-stop helper crashes with
+	// recovery, regional partitions over fault domains (domains index
+	// this config's global helpers and channels), and the queueing
+	// semantics switch for late batches. Rejected with BackendMemory. The
+	// epoch MaxDeficit metric is fault-honest whenever Faults is set:
+	// helpers the plan makes unreachable at the boundary count zero
+	// expected capacity, detector or no detector.
+	Faults *distsim.FaultPlan
+	// Detector enables failure-aware eviction (see DetectorConfig):
+	// helpers that miss consecutive capacity replies are evicted through
+	// the regular churn path and readmitted after probation. Requires
+	// BackendDistsim.
+	Detector *DetectorConfig
 }
 
 // EpochMetrics is the cluster's per-epoch observable — the JSON record
@@ -252,6 +264,27 @@ type EpochMetrics struct {
 	Joins int `json:"viewer_joins"`
 	// Leaves is the number of viewers that departed during the epoch.
 	Leaves int `json:"viewer_leaves"`
+	// LateServed counts late attach batches buffered and served under
+	// queueing-link semantics during the epoch (distsim backend with
+	// FaultPlan.Queueing; 0 otherwise).
+	LateServed int `json:"late_served_batches"`
+	// FaultMsgs counts helper exchanges the fault plan suppressed during
+	// the epoch (crashed helpers, severed partitions).
+	FaultMsgs int `json:"fault_msgs"`
+	// Suspected counts helpers that crossed the detector's
+	// consecutive-miss threshold during the epoch.
+	Suspected int `json:"suspected_helpers"`
+	// Evicted counts detector evictions during the epoch.
+	Evicted int `json:"evicted_helpers"`
+	// Readmitted counts post-probation readmissions during the epoch.
+	Readmitted int `json:"readmitted_helpers"`
+	// HelpersDown is the number of helpers sitting evicted at the epoch
+	// boundary.
+	HelpersDown int `json:"helpers_down"`
+	// MeanTimeToRecover is the mean outage length in stages (first missed
+	// reply to first clean reply after readmission) over the recoveries
+	// completed this epoch (0 when none completed).
+	MeanTimeToRecover float64 `json:"mean_time_to_recover"`
 }
 
 type location struct {
@@ -275,6 +308,8 @@ type stageData struct {
 	minDeficit float64
 	played     int
 	stalled    int
+	lateServed int
+	faultMsgs  int
 }
 
 func (a *stageData) accumulate(s stageData) {
@@ -284,6 +319,8 @@ func (a *stageData) accumulate(s stageData) {
 	a.minDeficit += s.minDeficit
 	a.played += s.played
 	a.stalled += s.stalled
+	a.lateServed += s.lateServed
+	a.faultMsgs += s.faultMsgs
 }
 
 // backend executes the per-channel systems for the director. Membership
@@ -307,6 +344,11 @@ type backend interface {
 	// slices alias backend buffers that the next step overwrites — clone to
 	// retain.
 	lastResult(ci int) core.StageResult
+	// eachReply walks the most recent step's capacity-reply ledger: one
+	// call per pool helper per channel, with the helper's global id and
+	// whether its exchange failed (drop, fatal delay, crash, partition).
+	// The shared-memory backend has no links and reports nothing.
+	eachReply(fn func(helper int, missed bool))
 	// close releases backend resources (joins node goroutines on distsim).
 	close() error
 }
@@ -375,6 +417,29 @@ type Cluster struct {
 	// Reusable epoch scratch.
 	demands []alloc.Channel
 	expCaps []float64
+	effCaps []float64 // fault-honest boundary scratch (Faults only)
+
+	// Fault schedule and failure-detector state (nil / empty without the
+	// corresponding config).
+	faults   *distsim.FaultPlan
+	detector *DetectorConfig
+	// misses counts consecutive missed capacity replies per helper;
+	// evicted/evictedAt track eviction state, downAt the stage of the
+	// first missed reply of the current outage (-1 when reachable), and
+	// wasEvicted marks helpers whose next clean reply completes a
+	// recovery measurement.
+	misses     []int
+	evicted    []bool
+	evictedAt  []int
+	downAt     []int
+	wasEvicted []bool
+
+	// Per-epoch detector counters.
+	suspectedE  int
+	evictedE    int
+	readmittedE int
+	recoverSum  float64
+	recoverN    int
 }
 
 // New builds a cluster from the config.
@@ -413,6 +478,17 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Link != nil && cfg.Backend != BackendDistsim {
 		return nil, errors.New("cluster: Link requires BackendDistsim")
+	}
+	if cfg.Faults != nil && cfg.Backend != BackendDistsim {
+		return nil, errors.New("cluster: Faults requires BackendDistsim")
+	}
+	if cfg.Detector != nil {
+		if cfg.Backend != BackendDistsim {
+			return nil, errors.New("cluster: Detector requires BackendDistsim")
+		}
+		if err := cfg.Detector.validate(); err != nil {
+			return nil, err
+		}
 	}
 	c := &Cluster{
 		byPeer:      make(map[int]location),
@@ -516,6 +592,21 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.acc = make([]stageData, len(cfg.Channels))
 	c.scratch = make([]stageData, len(cfg.Channels))
+
+	c.faults = cfg.Faults
+	if cfg.Detector != nil {
+		d := *cfg.Detector
+		d.applyDefaults()
+		c.detector = &d
+		c.misses = make([]int, len(c.helpers))
+		c.evicted = make([]bool, len(c.helpers))
+		c.evictedAt = make([]int, len(c.helpers))
+		c.wasEvicted = make([]bool, len(c.helpers))
+		c.downAt = make([]int, len(c.helpers))
+		for h := range c.downAt {
+			c.downAt[h] = -1
+		}
+	}
 
 	var err error
 	switch cfg.Backend {
@@ -754,6 +845,11 @@ func (c *Cluster) step() error {
 	for ci := range c.scratch {
 		c.acc[ci].accumulate(c.scratch[ci])
 	}
+	if c.detector != nil {
+		if err := c.detectorPass(); err != nil {
+			return err
+		}
+	}
 	c.stage++
 	c.stagesInEpoch++
 	return nil
@@ -813,7 +909,7 @@ func (c *Cluster) StepStage() (StageTotals, error) {
 // re-allocation, and resets the accumulators.
 func (c *Cluster) boundary() (EpochMetrics, error) {
 	var welfare, opt, serverLoad, minDeficit float64
-	var played, stalled int
+	var played, stalled, lateServed, faultMsgs int
 	for ci := range c.acc {
 		a := &c.acc[ci]
 		welfare += a.welfare
@@ -822,15 +918,39 @@ func (c *Cluster) boundary() (EpochMetrics, error) {
 		minDeficit += a.minDeficit
 		played += a.played
 		stalled += a.stalled
+		lateServed += a.lateServed
+		faultMsgs += a.faultMsgs
 		*a = stageData{}
 	}
 	moves, err := c.reallocate()
 	if err != nil {
 		return EpochMetrics{}, err
 	}
-	maxDef, err := alloc.MaxDeficit(c.demands, c.expCaps, c.assign)
+	// Fault-honest MaxDeficit: a helper the plan makes unreachable right
+	// now contributes no capacity, whether or not a detector noticed —
+	// so a detector-disabled baseline cannot report phantom supply.
+	caps := c.expCaps
+	if c.faults != nil {
+		if c.effCaps == nil {
+			c.effCaps = make([]float64, len(c.expCaps))
+		}
+		copy(c.effCaps, c.expCaps)
+		for h := range c.effCaps {
+			if c.faults.Unreachable(h, c.assign[h], c.stage) {
+				c.effCaps[h] = 0
+			}
+		}
+		caps = c.effCaps
+	}
+	maxDef, err := alloc.MaxDeficit(c.demands, caps, c.assign)
 	if err != nil {
 		return EpochMetrics{}, fmt.Errorf("cluster: epoch deficit: %w", err)
+	}
+	down := 0
+	for _, ev := range c.evicted {
+		if ev {
+			down++
+		}
 	}
 	n := c.stagesInEpoch
 	m := EpochMetrics{
@@ -844,6 +964,12 @@ func (c *Cluster) boundary() (EpochMetrics, error) {
 		Switches:     c.switches,
 		Joins:        c.joins,
 		Leaves:       c.leaves,
+		LateServed:   lateServed,
+		FaultMsgs:    faultMsgs,
+		Suspected:    c.suspectedE,
+		Evicted:      c.evictedE,
+		Readmitted:   c.readmittedE,
+		HelpersDown:  down,
 	}
 	if n > 0 {
 		m.MeanServerLoad = serverLoad / float64(n)
@@ -855,7 +981,12 @@ func (c *Cluster) boundary() (EpochMetrics, error) {
 	if played+stalled > 0 {
 		m.Continuity = float64(played) / float64(played+stalled)
 	}
+	if c.recoverN > 0 {
+		m.MeanTimeToRecover = c.recoverSum / float64(c.recoverN)
+	}
 	c.switches, c.joins, c.leaves = 0, 0, 0
+	c.suspectedE, c.evictedE, c.readmittedE = 0, 0, 0
+	c.recoverSum, c.recoverN = 0, 0
 	c.stagesInEpoch = 0
 	c.epoch++
 	return m, nil
@@ -874,6 +1005,20 @@ func (c *Cluster) reallocate() (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("cluster: reallocation: %w", err)
 	}
+	// Evicted helpers are pinned where they are: they have no pool
+	// presence to migrate (the readmission path returns them to their
+	// recorded channel), and their expected capacity is already zero so
+	// the pin costs the proposal nothing.
+	pinned := false
+	for h, ev := range c.evicted {
+		if ev && proposal[h] != c.assign[h] {
+			proposal[h] = c.assign[h]
+			pinned = true
+		}
+	}
+	if pinned && !c.coversAllChannels(proposal) {
+		return 0, nil
+	}
 	curDef, err := alloc.MaxDeficit(c.demands, c.expCaps, c.assign)
 	if err != nil {
 		return 0, err
@@ -889,15 +1034,39 @@ func (c *Cluster) reallocate() (int, error) {
 	return c.migrate(proposal)
 }
 
+// coversAllChannels reports whether every channel holds at least one
+// live (non-evicted) helper under the assignment — the guard that keeps
+// detector pinning from starving a channel the allocator had covered
+// only with an evicted helper.
+func (c *Cluster) coversAllChannels(a alloc.Assignment) bool {
+	covered := make([]bool, len(c.channels))
+	for h, ci := range a {
+		if !c.evicted[h] {
+			covered[ci] = true
+		}
+	}
+	for _, ok := range covered {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // stabilize relabels the proposal in place to minimize physical moves:
 // helpers with equal expected capacity are interchangeable for the deficit
 // objective, so within each capacity class every helper that can keep its
 // current channel does, and only the class's net flow migrates. Iteration
 // is in (capacity, id) order, so the result is deterministic.
 func (c *Cluster) stabilize(next alloc.Assignment) {
-	ids := make([]int, len(c.helpers))
-	for h := range ids {
-		ids[h] = h
+	// Evicted helpers are pinned (next[h] == c.assign[h]) and absent from
+	// every pool; relabeling within their capacity class could displace
+	// the pin, so they are excluded outright.
+	ids := make([]int, 0, len(c.helpers))
+	for h := range c.helpers {
+		if len(c.evicted) == 0 || !c.evicted[h] {
+			ids = append(ids, h)
+		}
 	}
 	sort.SliceStable(ids, func(a, b int) bool {
 		return c.helpers[ids[a]].expCap > c.helpers[ids[b]].expCap

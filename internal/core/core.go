@@ -157,12 +157,15 @@ type Config struct {
 	// actions, mapped to global helper ids through a per-peer view, so
 	// learner state is O(ViewSize²) instead of O(H²) and large helper
 	// pools (H in the hundreds) stay affordable. 0 keeps today's full-view
-	// behavior bit-for-bit. Partial views engage only when
-	// 0 < ViewSize < len(Helpers) at construction — a ViewSize at or above
-	// the initial helper count is also exactly the full-view engine (no
-	// extra RNG draws, no mapping layer), pinned by the view equivalence
-	// tests. Each peer's initial view is a uniform sample of ViewSize
-	// helpers drawn from a deterministic per-peer stream.
+	// behavior bit-for-bit. Partial views engage when the bound binds:
+	// at construction when 0 < ViewSize < len(Helpers) (each peer's
+	// initial view is then a uniform sample of ViewSize helpers drawn
+	// from a deterministic per-peer stream), or lazily when AddHelper
+	// first grows the pool past the bound (each peer then shrinks its
+	// full view down to ViewSize, learners keeping their
+	// highest-probability helpers). A ViewSize the pool never exceeds is
+	// exactly the full-view engine — no extra RNG draws, no mapping
+	// layer — pinned by the view equivalence tests.
 	ViewSize int
 	// ViewRefresh is the period, in stages, of the partial-view refresh
 	// pass: every ViewRefresh stages each partial-view peer refills its
@@ -190,7 +193,7 @@ type peer struct {
 	demand float64
 	// view maps the selector's view-local actions to global helper ids;
 	// nil when the peer sees the full helper set (ViewSize = 0, or a
-	// ViewSize at or above the construction-time helper count).
+	// ViewSize the helper pool has never exceeded).
 	view *regret.View
 	// viewRng is the peer's private stream for view sampling and refresh;
 	// nil iff view is nil.
@@ -369,12 +372,17 @@ func New(cfg Config) (*System, error) {
 	}
 	s.scale = scale
 
-	// Partial views engage only when the bound actually binds. When they
-	// do, the view stream is split from the master at this fixed point
-	// (after the helper chains, before the shard streams), and each peer
-	// draws its own sub-stream — view churn is therefore deterministic and
-	// independent of Workers and of the execution backend.
-	if cfg.ViewSize > 0 && cfg.ViewSize < len(cfg.Helpers) {
+	// The view bound is recorded whenever ViewSize > 0, but the view
+	// machinery engages only when the bound actually binds — here at
+	// construction when ViewSize < len(Helpers), or lazily the first time
+	// AddHelper grows the pool past the bound (engageViews). When it
+	// engages here, the view stream is split from the master at this
+	// fixed point (after the helper chains, before the shard streams),
+	// and each peer draws its own sub-stream — view churn is therefore
+	// deterministic and independent of Workers and of the execution
+	// backend. A bound that never binds costs nothing: no extra RNG
+	// draws, no mapping layer — exactly the full-view engine.
+	if cfg.ViewSize > 0 {
 		s.viewSize = cfg.ViewSize
 		s.viewRefresh = cfg.ViewRefresh
 		if s.viewRefresh == 0 {
@@ -382,9 +390,11 @@ func New(cfg Config) (*System, error) {
 		} else if s.viewRefresh < 0 {
 			s.viewRefresh = 0
 		}
-		s.viewMaster = rng.Split()
-		s.viewMark = make([]bool, len(s.helpers))
-		s.viewIdx = make([]int, len(s.helpers))
+		if cfg.ViewSize < len(cfg.Helpers) {
+			s.viewMaster = rng.Split()
+			s.viewMark = make([]bool, len(s.helpers))
+			s.viewIdx = make([]int, len(s.helpers))
+		}
 	}
 
 	for i := 0; i < cfg.NumPeers; i++ {
@@ -1078,7 +1088,10 @@ func (s *System) SetHelperLevels(j int, levels []float64, switchProb float64) er
 // set by one; partial-view peers below the ViewSize bound adopt the new
 // helper immediately (their view has room), while peers with full views
 // leave it to the periodic refresh pass — so a helper migrating in
-// touches only the peers whose views can see it. Every touched peer's
+// touches only the peers whose views can see it. When the addition first
+// pushes a ViewSize-configured pool past the bound, partial views engage
+// lazily (engageViews): every peer shrinks from its full view down to
+// ViewSize through the regular churn seam. Every touched peer's
 // policy must support dynamic action sets. Helper churn is part of the
 // between-stages protocol: calling it inside an open
 // SelectStage/FinishStage pair is an error (the learners' pending
@@ -1098,6 +1111,18 @@ func (s *System) AddHelper(spec HelperSpec) error {
 		}
 		if _, ok := p.sel.(DynamicSelector); !ok {
 			return fmt.Errorf("core: peer %d policy %T does not support helper churn", i, p.sel)
+		}
+	}
+	engaging := s.viewMaster == nil && s.viewSize > 0 && len(s.helpers)+1 > s.viewSize
+	if engaging {
+		// Crossing the bound engages partial views for every resident
+		// peer, so the construction-time compatibility rule applies now:
+		// StageObserver policies read global stage state that a view
+		// cannot route view-locally.
+		for i, p := range s.peers {
+			if _, ok := p.sel.(StageObserver); ok {
+				return fmt.Errorf("core: AddHelper would engage partial views (ViewSize=%d): peer %d policy %T observes global stage state, which partial views cannot route view-locally", s.viewSize, i, p.sel)
+			}
 		}
 	}
 	h, err := newHelper(spec, s.rng.Split())
@@ -1137,7 +1162,47 @@ func (s *System) AddHelper(spec HelperSpec) error {
 			}
 		}
 	}
+	if engaging {
+		s.engageViews()
+	}
 	return nil
+}
+
+// engageViews switches the system from full views to partial views — the
+// seam AddHelper crosses when growth first pushes a ViewSize-configured
+// pool past the bound. The view master stream is split from the system
+// stream only now (a system whose pool never crosses the bound consumes
+// no view randomness at all, keeping the full-view equivalence exact),
+// then every peer draws its private view stream and shrinks from the
+// identity view down to the bound through the regular
+// AddAction/RemoveAction churn seam: RTHS learners repeatedly drop their
+// lowest-probability action — keeping the helpers their play history
+// already favors — while other dynamic policies drop from the top.
+// All draws come from the system's own streams, so engagement is
+// deterministic and identical across Workers values and execution
+// backends.
+func (s *System) engageViews() {
+	s.viewMaster = s.rng.Split()
+	s.viewMark = make([]bool, len(s.helpers))
+	s.viewIdx = make([]int, len(s.helpers))
+	for _, p := range s.peers {
+		p.viewRng = s.viewMaster.Split()
+		ids := make([]int, len(s.helpers))
+		for j := range ids {
+			ids[j] = j
+		}
+		p.view = regret.NewView(ids)
+		dyn := p.sel.(DynamicSelector)
+		for p.view.Len() > s.viewSize {
+			k := p.view.Len() - 1
+			if p.lrn != nil {
+				k = p.lrn.MinProbAction()
+			}
+			dyn.RemoveAction(k)
+			p.view.RemoveLocal(k)
+		}
+		p.viewChangedAt = s.stage
+	}
 }
 
 // RemoveHelper removes helper j (crash / departure). Full-view peers drop

@@ -502,3 +502,146 @@ func TestMidStageChurnRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLazyViewEngagementOnGrowth pins the growth seam: a system built
+// with ViewSize at or above the helper count runs full-view (no view
+// state, no view randomness), and the AddHelper call that first pushes
+// the pool past the bound engages partial views for every resident peer
+// — each shrinks to exactly ViewSize through the churn seam — while
+// later joiners and the stage loop behave like any partial-view system.
+func TestLazyViewEngagementOnGrowth(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		sys, err := New(viewConfig(12, 4, 6, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grow to the bound: 4 → 6 helpers stays full-view.
+		for sys.NumHelpers() < 6 {
+			if err := sys.AddHelper(DefaultHelperSpec()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Run(10, nil); err != nil {
+			t.Fatal(err)
+		}
+		if ids := sys.PeerView(0); ids != nil {
+			t.Fatalf("workers=%d: views engaged at the bound: %v", workers, ids)
+		}
+		if got := sys.Selector(0).NumActions(); got != 6 {
+			t.Fatalf("workers=%d: full-view peer has %d actions, want 6", workers, got)
+		}
+		// The 7th helper crosses the bound: every resident engages.
+		if err := sys.AddHelper(DefaultHelperSpec()); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			ids := sys.PeerView(i)
+			if len(ids) != 6 {
+				t.Fatalf("workers=%d peer %d: engaged view %v, want 6 ids", workers, i, ids)
+			}
+			seen := map[int]bool{}
+			for _, h := range ids {
+				if h < 0 || h >= 7 || seen[h] {
+					t.Fatalf("workers=%d peer %d: invalid view %v", workers, i, ids)
+				}
+				seen[h] = true
+			}
+			if got := sys.Selector(i).NumActions(); got != 6 {
+				t.Fatalf("workers=%d peer %d: %d actions after engagement, want 6", workers, i, got)
+			}
+		}
+		// The engaged system keeps stepping, and joiners get views.
+		if err := sys.Run(10, nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.NewPeerActions(); got != 6 {
+			t.Fatalf("workers=%d: NewPeerActions = %d after engagement, want 6", workers, got)
+		}
+		i, err := sys.AddPeer(nil, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ids := sys.PeerView(i); len(ids) != 6 {
+			t.Fatalf("workers=%d: joiner view %v, want 6 ids", workers, ids)
+		}
+		if err := sys.Run(5, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLazyEngagementNeverCrossingStaysFullView pins the zero-cost side
+// of the seam: a ViewSize-configured system whose pool never exceeds the
+// bound consumes no view randomness at all — its trajectory through the
+// same AddHelper schedule is bit-identical to an unbounded run.
+func TestLazyEngagementNeverCrossingStaysFullView(t *testing.T) {
+	run := func(viewSize int) []float64 {
+		sys, err := New(viewConfig(12, 4, viewSize, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var welfare []float64
+		obs := func(r StageResult) { welfare = append(welfare, r.Welfare) }
+		for _, burst := range []int{10, 10, 20} {
+			if err := sys.Run(burst, obs); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.AddHelper(DefaultHelperSpec()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Run(20, obs); err != nil {
+			t.Fatal(err)
+		}
+		if ids := sys.PeerView(0); ids != nil {
+			t.Fatalf("ViewSize=%d: views engaged below the bound: %v", viewSize, ids)
+		}
+		return welfare
+	}
+	bounded, unbounded := run(8), run(0) // pool grows 4 → 7, bound 8 never crossed
+	for s := range bounded {
+		if bounded[s] != unbounded[s] {
+			t.Fatalf("stage %d: %g vs %g — uncrossed bound not bit-identical to full view",
+				s, bounded[s], unbounded[s])
+		}
+	}
+}
+
+// dynamicObserver is a StageObserver that also supports helper churn, so
+// AddHelper's DynamicSelector requirement passes and the engagement
+// pre-check is the rule actually under test.
+type dynamicObserver struct{ observingSelector }
+
+func (o *dynamicObserver) AddAction()       { o.m++ }
+func (o *dynamicObserver) RemoveAction(int) { o.m-- }
+
+// TestLazyEngagementRejectsStageObservers extends the StageObserver
+// compatibility rule to the growth seam: a full-view system below the
+// bound accepts observer policies, but the AddHelper call that would
+// engage partial views rejects them descriptively and leaves the pool
+// untouched.
+func TestLazyEngagementRejectsStageObservers(t *testing.T) {
+	cfg := viewConfig(4, 4, 6, 0)
+	cfg.Factory = func(_, numActions int, _ float64) (Selector, error) {
+		return &dynamicObserver{observingSelector{m: numActions}}, nil
+	}
+	sys, err := New(cfg) // ViewSize 6 ≥ H=4: full views, observers fine
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sys.NumHelpers() < 6 {
+		if err := sys.AddHelper(DefaultHelperSpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = sys.AddHelper(DefaultHelperSpec())
+	if err == nil || !strings.Contains(err.Error(), "global stage state") {
+		t.Fatalf("engaging AddHelper with observer peers: err = %v, want a descriptive rejection", err)
+	}
+	if got := sys.NumHelpers(); got != 6 {
+		t.Fatalf("failed engagement still grew the pool to %d helpers", got)
+	}
+	if _, err := sys.Step(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -43,7 +43,7 @@
 // Every send targets a buffered channel sized to the protocol's bound, so
 // the system cannot deadlock; all goroutines are joined by Close.
 //
-// # Latency and drops
+// # Latency, drops, and faults
 //
 // A LinkModel (nil = perfect links) adjudicates every data-plane message.
 // A dropped attach batch means the helper never hears from its peers that
@@ -51,8 +51,15 @@
 // both cases the affected peers realize rate zero — feedback their
 // policies genuinely learn from — and the helper's capacity reads as zero
 // in that round's observed metrics. A delayed message misses the round
-// deadline, which under the synchronous protocol is equivalent to a drop
-// for service; it is separately counted. With a nil LinkModel the runtime
+// deadline, which under the synchronous protocol is by default equivalent
+// to a drop for service; it is separately counted. With
+// FaultPlan.Queueing a late attach batch is instead buffered at the
+// helper and served one round deferred — delay becomes degraded service
+// (a playout-buffer stall risk), not loss. A FaultPlan additionally
+// schedules deterministic fail-stop helper crashes and regional
+// partitions over fault domains; plan verdicts are applied after the
+// link draw is consumed, so faulty runs replay the exact random streams
+// of fault-free ones. With a nil LinkModel and nil FaultPlan the runtime
 // consumes no extra randomness and reproduces the shared-memory cluster
 // engine bit-identically (see internal/cluster's distsim backend).
 package distsim
@@ -113,6 +120,13 @@ type Config struct {
 	Link LinkModel
 	// LinkSeed derives the link model's random streams.
 	LinkSeed uint64
+	// Faults is the deterministic fault schedule (nil = no scheduled
+	// faults): fail-stop helper crashes, regional partitions over fault
+	// domains, and the queueing-semantics switch for late batches. The
+	// plan consumes no randomness and composes with Link: link draws are
+	// consumed identically with and without a plan, so adding faults
+	// never perturbs the surviving traffic's randomness.
+	Faults *FaultPlan
 }
 
 // ChannelRound is one channel's view of a completed round. Slices alias
@@ -135,15 +149,30 @@ type ChannelRound struct {
 	// LostMsgs counts data-plane messages dropped outright this round.
 	LostMsgs int
 	// LateMsgs counts data-plane messages that missed the round deadline
-	// (delayed past it) this round — as good as lost for service, but
-	// accounted separately.
+	// (delayed past it) this round — as good as lost for service under
+	// loss semantics, buffered and served next round under
+	// FaultPlan.Queueing — accounted separately either way.
 	LateMsgs int
+	// LateServed counts helpers whose late attach batch was served under
+	// queueing semantics this round (each covers loads[j] peers whose
+	// media arrives one round deferred).
+	LateServed int
+	// FaultMsgs counts helper exchanges suppressed by the fault plan
+	// this round (crashed helper or severed partition — one per
+	// unreachable pool helper).
+	FaultMsgs int
 	// Actions, Rates, Loads and Capacities are the channel's per-peer and
 	// per-helper round views (local indices).
 	Actions    []int
 	Rates      []float64
 	Loads      []int
 	Capacities []float64
+	// PoolIDs lists the channel's pool in local order as global helper
+	// ids, and Missed marks the pool helpers whose exchange failed this
+	// round (drop, fatal delay, crash, or partition) — the reply ledger a
+	// failure detector consumes.
+	PoolIDs []int
+	Missed  []bool
 }
 
 // RoundStats is the coordinator's per-round aggregate, one entry per
@@ -279,9 +308,18 @@ type manager struct {
 	link    LinkModel
 	linkRng *xrand.Rand
 
+	faults   *FaultPlan
+	queueing bool
+
 	batch [][]int32 // reusable per-helper attach lists
 	caps  []float64 // per-helper realized capacities
 	ok    []bool    // per-helper link success this round
+
+	down     []bool    // per-helper fault-plan verdict this round
+	lateJ    []bool    // per-helper queued-late verdict this round
+	poolIDs  []int     // per-helper global ids, rebuilt each round
+	missed   []bool    // per-helper failed-exchange ledger, rebuilt each round
+	deferred []float64 // per-peer rate buffered by queueing links (startup > 0 only)
 
 	err error // sticky: a failed manager keeps the protocol alive but inert
 }
@@ -334,6 +372,7 @@ func (m *manager) applyOps(ops []op) {
 					return
 				}
 				m.bufs = append(m.bufs, buf)
+				m.deferred = append(m.deferred, 0)
 			}
 		case opRemovePeer:
 			if err := m.sys.RemovePeer(o.local); err != nil {
@@ -342,6 +381,7 @@ func (m *manager) applyOps(ops []op) {
 			}
 			if m.startup > 0 {
 				m.bufs = append(m.bufs[:o.local], m.bufs[o.local+1:]...)
+				m.deferred = append(m.deferred[:o.local], m.deferred[o.local+1:]...)
 			}
 		case opAddHelper:
 			if err := m.sys.AddHelper(o.spec); err != nil {
@@ -364,6 +404,10 @@ func (m *manager) applyOps(ops []op) {
 			m.batch = append(m.batch, nil)
 			m.caps = append(m.caps, 0)
 			m.ok = append(m.ok, false)
+			m.down = append(m.down, false)
+			m.lateJ = append(m.lateJ, false)
+			m.poolIDs = append(m.poolIDs, o.helper)
+			m.missed = append(m.missed, false)
 		case opRemoveHelper:
 			if err := m.sys.RemoveHelper(o.local); err != nil {
 				m.err = fmt.Errorf("distsim: channel %q lose helper %d: %w", m.name, o.helper, err)
@@ -376,6 +420,10 @@ func (m *manager) applyOps(ops []op) {
 			m.batch = m.batch[:len(m.pool)]
 			m.caps = m.caps[:len(m.pool)]
 			m.ok = m.ok[:len(m.pool)]
+			m.down = m.down[:len(m.pool)]
+			m.lateJ = m.lateJ[:len(m.pool)]
+			m.poolIDs = m.poolIDs[:len(m.pool)]
+			m.missed = m.missed[:len(m.pool)]
 		}
 	}
 }
@@ -397,17 +445,36 @@ func (m *manager) stepRound(round int) {
 		m.batch[a] = append(m.batch[a], int32(i))
 	}
 	for j, ph := range m.pool {
-		failed := false
+		// The fault plan adjudicates first (it is deterministic), but the
+		// link draw is consumed unconditionally so a run with a plan sees
+		// the exact random streams of the same run without one.
+		down := m.faults != nil && m.faults.Unreachable(ph.id, m.id, round)
+		m.down[j] = down
+		failed, late := down, false
 		if m.link != nil {
 			delay, drop := m.link.Deliver(m.linkRng, round)
-			failed = drop || delay > 0
-			if drop {
-				m.out.LostMsgs++
-			} else if delay > 0 {
-				m.out.LateMsgs++
+			if !down {
+				if drop {
+					m.out.LostMsgs++
+					failed = true
+				} else if delay > 0 {
+					m.out.LateMsgs++
+					if m.queueing {
+						// Queueing link: the batch reaches the helper a
+						// round late and is served then — degraded, not
+						// lost. The exchange still completes.
+						late = true
+					} else {
+						failed = true
+					}
+				}
 			}
 		}
+		if down {
+			m.out.FaultMsgs++
+		}
 		m.ok[j] = !failed
+		m.lateJ[j] = late
 		ph.node.inbox <- helperMsg{kind: msgAttach, round: round, peers: m.batch[j], failed: failed}
 	}
 	for range m.pool {
@@ -424,22 +491,35 @@ func (m *manager) stepRound(round int) {
 				m.name, rep.helper, rep.round, round)
 			return
 		}
-		if rep.dropped || rep.late {
-			m.ok[local] = false
+		// An unreachable helper's reply never arrives; its own link draw
+		// was still consumed by the node (stream alignment), but the
+		// verdict is moot — the exchange already failed.
+		if !m.down[local] && (rep.dropped || rep.late) {
 			if rep.dropped {
 				m.out.LostMsgs++
+				m.ok[local] = false
 			} else {
 				m.out.LateMsgs++
+				if m.queueing {
+					m.lateJ[local] = true
+				} else {
+					m.ok[local] = false
+				}
 			}
 		}
 		m.caps[local] = rep.capacity
 	}
 	for j, ok := range m.ok {
+		m.poolIDs[j] = m.pool[j].id
+		m.missed[j] = !ok
 		if !ok {
-			// Partitioned link: the helper contributes nothing observable
+			// Failed exchange: the helper contributes nothing observable
 			// this round and its peers realize rate zero.
 			m.caps[j] = 0
+			m.lateJ[j] = false
 			m.out.Unserved += loads[j]
+		} else if m.lateJ[j] && loads[j] > 0 {
+			m.out.LateServed++
 		}
 	}
 	res, err := m.sys.FinishStage(m.caps)
@@ -448,7 +528,18 @@ func (m *manager) stepRound(round int) {
 		return
 	}
 	for i, b := range m.bufs {
-		played, err := b.Tick(res.Rates[i])
+		// Queueing semantics: a peer attached through a late batch sees
+		// its media one round deferred — this round's buffer tick gets
+		// only previously deferred rate; this round's rate arrives next
+		// tick. The learner feedback (res.Rates) is untouched: the
+		// exchange completed and the capacity was genuinely realized.
+		rate := res.Rates[i] + m.deferred[i]
+		m.deferred[i] = 0
+		if m.lateJ[actions[i]] {
+			m.deferred[i] = res.Rates[i]
+			rate -= res.Rates[i]
+		}
+		played, err := b.Tick(rate)
 		if err != nil {
 			m.err = fmt.Errorf("distsim: channel %q buffer: %w", m.name, err)
 			return
@@ -467,6 +558,8 @@ func (m *manager) stepRound(round int) {
 	m.out.Rates = res.Rates
 	m.out.Loads = res.Loads
 	m.out.Capacities = res.Capacities
+	m.out.PoolIDs = m.poolIDs
+	m.out.Missed = m.missed
 }
 
 // Runtime owns the nodes of one distributed deployment. Drive it with
@@ -507,6 +600,11 @@ func New(cfg Config) (*Runtime, error) {
 	for ci, n := range poolSize {
 		if n == 0 {
 			return nil, fmt.Errorf("distsim: channel %q holds no helpers", cfg.Channels[ci].Name)
+		}
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(len(cfg.Helpers), len(cfg.Channels)); err != nil {
+			return nil, err
 		}
 	}
 	var linkMaster *xrand.Rand
@@ -559,9 +657,17 @@ func New(cfg Config) (*Runtime, error) {
 			reports: rt.reports,
 			out:     &rt.stats.Channels[ci],
 			link:    cfg.Link,
+			faults:  cfg.Faults,
 			batch:   make([][]int32, len(pool)),
 			caps:    make([]float64, len(pool)),
 			ok:      make([]bool, len(pool)),
+			down:    make([]bool, len(pool)),
+			lateJ:   make([]bool, len(pool)),
+			poolIDs: make([]int, len(pool)),
+			missed:  make([]bool, len(pool)),
+		}
+		if cfg.Faults != nil {
+			m.queueing = cfg.Faults.Queueing
 		}
 		if linkMaster != nil {
 			m.linkRng = linkMaster.Split()
@@ -575,6 +681,7 @@ func New(cfg Config) (*Runtime, error) {
 				}
 				m.bufs = append(m.bufs, buf)
 			}
+			m.deferred = make([]float64, cc.InitialPeers)
 		}
 		for local, h := range ids {
 			node := &helperNode{

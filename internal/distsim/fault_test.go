@@ -1,0 +1,311 @@
+package distsim
+
+import (
+	"testing"
+
+	"rths/internal/xrand"
+)
+
+func TestFaultPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		plan FaultPlan
+	}{
+		{"helper domains length", FaultPlan{HelperDomains: []int{0, 1}}},
+		{"helper domain negative", FaultPlan{HelperDomains: []int{0, 0, 0, -1, 0, 0, 0, 0}}},
+		{"channel domains length", FaultPlan{ChannelDomains: []int{0}}},
+		{"channel domain negative", FaultPlan{ChannelDomains: []int{0, -2, 0, 0}}},
+		{"crash helper out of range", FaultPlan{Crashes: []HelperCrash{{Helper: 8, From: 0, Until: 5}}}},
+		{"crash helper negative", FaultPlan{Crashes: []HelperCrash{{Helper: -1, From: 0, Until: 5}}}},
+		{"crash window inverted", FaultPlan{Crashes: []HelperCrash{{Helper: 0, From: 10, Until: 5}}}},
+		{"crash from negative", FaultPlan{Crashes: []HelperCrash{{Helper: 0, From: -1, Until: 5}}}},
+		{"partition domain negative", FaultPlan{Partitions: []Partition{{Domain: -1, From: 0, Until: 5}}}},
+		{"partition window inverted", FaultPlan{Partitions: []Partition{{Domain: 0, From: 10, Until: 5}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.plan.Validate(8, 4); err == nil {
+				t.Fatal("invalid plan accepted")
+			}
+			cfg := fourChannelConfig(1)
+			plan := tc.plan
+			cfg.Faults = &plan
+			if _, err := New(cfg); err == nil {
+				t.Fatal("New accepted a config with an invalid fault plan")
+			}
+		})
+	}
+	good := FaultPlan{
+		HelperDomains:  []int{0, 1, 0, 1, 0, 1, 0, 1},
+		ChannelDomains: []int{0, 0, 1, 1},
+		Crashes:        []HelperCrash{{Helper: 3, From: 5, Until: 5}}, // empty window is legal
+		Partitions:     []Partition{{Domain: 1, From: 10, Until: 20}},
+	}
+	if err := good.Validate(8, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultPlanUnreachable(t *testing.T) {
+	p := &FaultPlan{
+		HelperDomains:  []int{0, 1, 2, 0, 1, 2, 0, 1},
+		ChannelDomains: []int{0, 1, 0, 0},
+		Crashes:        []HelperCrash{{Helper: 3, From: 10, Until: 20}},
+		Partitions:     []Partition{{Domain: 2, From: 30, Until: 40}},
+	}
+	// Crash windows are half-open: down at From, back at Until.
+	for round, want := range map[int]bool{9: false, 10: true, 19: true, 20: false} {
+		if got := p.Crashed(3, round); got != want {
+			t.Fatalf("Crashed(3, %d) = %v", round, got)
+		}
+		if got := p.Unreachable(3, 0, round); got != want {
+			t.Fatalf("Unreachable(3, 0, %d) = %v", round, got)
+		}
+	}
+	if p.Crashed(4, 15) {
+		t.Fatal("crash leaked onto another helper")
+	}
+	// Partitioning domain 2 severs cross-domain pairs in both directions
+	// but keeps intra-domain links.
+	if !p.Unreachable(2, 0, 35) { // helper domain 2, channel domain 0
+		t.Fatal("partitioned helper reachable from another domain")
+	}
+	if p.Unreachable(0, 0, 35) { // both domain 0
+		t.Fatal("partition of domain 2 severed a domain-0 pair")
+	}
+	if p.Unreachable(2, 0, 40) { // window over
+		t.Fatal("partition outlived its window")
+	}
+	// A channel inside the partitioned domain still reaches same-domain
+	// helpers.
+	q := &FaultPlan{
+		HelperDomains:  []int{2, 2, 0, 0, 0, 0, 0, 0},
+		ChannelDomains: []int{2, 0, 0, 0},
+		Partitions:     []Partition{{Domain: 2, From: 0, Until: 10}},
+	}
+	if q.Unreachable(0, 0, 5) {
+		t.Fatal("intra-domain link severed inside the partitioned domain")
+	}
+	if !q.Unreachable(2, 0, 5) {
+		t.Fatal("cross-domain link survived the partition")
+	}
+	// Nil domain maps put everyone in domain 0: a partition of domain 0
+	// then severs nothing (there is no second domain to cut off from).
+	all := &FaultPlan{Partitions: []Partition{{Domain: 0, From: 0, Until: 10}}}
+	if all.Unreachable(1, 1, 5) {
+		t.Fatal("single-domain partition severed an intra-domain link")
+	}
+}
+
+// TestFaultyRunDeterministic pins that a lossy run under a full fault
+// plan — crash, partition, queueing — replays bit-identically for a
+// fixed (Config, LinkSeed).
+func TestFaultyRunDeterministic(t *testing.T) {
+	collect := func() []float64 {
+		cfg := fourChannelConfig(13)
+		cfg.Link = Lossy{DropProb: 0.1, DelayProb: 0.2, MaxDelay: 2}
+		cfg.LinkSeed = 5
+		cfg.Faults = &FaultPlan{
+			HelperDomains: []int{0, 1, 0, 1, 0, 1, 0, 1},
+			Crashes:       []HelperCrash{{Helper: 2, From: 10, Until: 25}},
+			Partitions:    []Partition{{Domain: 1, From: 20, Until: 35}},
+			Queueing:      true,
+		}
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		var trace []float64
+		for round := 0; round < 50; round++ {
+			stats, err := rt.StepRound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0.0
+			for _, ch := range stats.Channels {
+				sum += ch.Welfare + float64(ch.Unserved) + float64(ch.LostMsgs) +
+					float64(ch.LateMsgs) + float64(ch.LateServed) + float64(ch.FaultMsgs)
+			}
+			trace = append(trace, sum)
+		}
+		return trace
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCrashWindowZeroesService pins fail-stop semantics: inside the
+// crash window the helper's exchanges count as FaultMsgs and its peers
+// go unserved; outside the window the run is clean again, and the
+// crash consumes no randomness (a crashed run's link streams match the
+// crash-free run draw for draw — checked by comparing a link-free run,
+// where the only divergence can come from the plan itself).
+func TestCrashWindowZeroesService(t *testing.T) {
+	run := func(plan *FaultPlan) (faults, unserved int, perRound []int) {
+		cfg := fourChannelConfig(7)
+		cfg.Faults = plan
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		for round := 0; round < 40; round++ {
+			stats, err := rt.StepRound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rf := 0
+			for _, ch := range stats.Channels {
+				rf += ch.FaultMsgs
+				unserved += ch.Unserved
+			}
+			faults += rf
+			perRound = append(perRound, rf)
+		}
+		return faults, unserved, perRound
+	}
+	faults, unserved, perRound := run(&FaultPlan{
+		Crashes: []HelperCrash{{Helper: 0, From: 10, Until: 30}},
+	})
+	if faults == 0 || unserved == 0 {
+		t.Fatalf("crash produced no faults: faults=%d unserved=%d", faults, unserved)
+	}
+	for round, rf := range perRound {
+		inWindow := round >= 10 && round < 30
+		if inWindow && rf == 0 {
+			t.Fatalf("round %d inside the crash window saw no fault messages", round)
+		}
+		if !inWindow && rf != 0 {
+			t.Fatalf("round %d outside the crash window saw %d fault messages", round, rf)
+		}
+	}
+	cleanFaults, cleanUnserved, _ := run(nil)
+	if cleanFaults != 0 || cleanUnserved != 0 {
+		t.Fatalf("clean run counted faults=%d unserved=%d", cleanFaults, cleanUnserved)
+	}
+}
+
+// TestQueueingBeatsLoss pins the queueing-semantics contract: at equal
+// delay parameters, queueing links serve late batches one round later
+// (LateServed > 0, degraded service) instead of destroying them, so
+// realized welfare is strictly higher and unserved strictly lower than
+// under loss semantics.
+func TestQueueingBeatsLoss(t *testing.T) {
+	run := func(queueing bool) (welfare float64, unserved, late, lateServed int) {
+		cfg := fourChannelConfig(19)
+		cfg.Link = Lossy{DelayProb: 0.3, MaxDelay: 1}
+		cfg.LinkSeed = 11
+		cfg.Faults = &FaultPlan{Queueing: queueing}
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		for round := 0; round < 80; round++ {
+			stats, err := rt.StepRound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ch := range stats.Channels {
+				welfare += ch.Welfare
+				unserved += ch.Unserved
+				late += ch.LateMsgs
+				lateServed += ch.LateServed
+			}
+		}
+		return welfare, unserved, late, lateServed
+	}
+	qWelfare, qUnserved, qLate, qServed := run(true)
+	lWelfare, lUnserved, lLate, lServed := run(false)
+	if qLate == 0 || qLate != lLate {
+		t.Fatalf("late counts diverge at equal delay parameters: queueing=%d loss=%d", qLate, lLate)
+	}
+	if qServed == 0 {
+		t.Fatal("queueing run served no late batches")
+	}
+	if lServed != 0 {
+		t.Fatalf("loss run served %d late batches", lServed)
+	}
+	if qWelfare <= lWelfare {
+		t.Fatalf("queueing welfare %g not above loss welfare %g", qWelfare, lWelfare)
+	}
+	if qUnserved >= lUnserved {
+		t.Fatalf("queueing unserved %d not below loss unserved %d", qUnserved, lUnserved)
+	}
+}
+
+// TestReplyLedgerTracksFaults pins the per-round reply ledger the
+// cluster's failure detector consumes: PoolIDs lists the channel's
+// helpers and Missed flags exactly the ones whose exchange failed —
+// crashed helpers are flagged for every round of their window and
+// cleared on recovery.
+func TestReplyLedgerTracksFaults(t *testing.T) {
+	cfg := fourChannelConfig(3)
+	cfg.Faults = &FaultPlan{Crashes: []HelperCrash{{Helper: 0, From: 5, Until: 15}}}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	for round := 0; round < 25; round++ {
+		stats, err := rt.StepRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, ch := range stats.Channels {
+			if len(ch.PoolIDs) != len(ch.Missed) || len(ch.PoolIDs) == 0 {
+				t.Fatalf("round %d channel %d: ledger %d ids / %d flags",
+					round, ci, len(ch.PoolIDs), len(ch.Missed))
+			}
+			for k, h := range ch.PoolIDs {
+				inWindow := h == 0 && round >= 5 && round < 15
+				if ch.Missed[k] != inWindow {
+					t.Fatalf("round %d channel %d helper %d: missed=%v want %v",
+						round, ci, h, ch.Missed[k], inWindow)
+				}
+			}
+		}
+	}
+}
+
+// TestLossyLiteralMatchesConstructor pins the zero-value contract the
+// Lossy docs promise: a literal with DelayProb set and MaxDelay unset
+// delays exactly one round, draw for draw identical to NewLossy(0, p, 1),
+// and the zero value is a perfect link that consumes no randomness.
+func TestLossyLiteralMatchesConstructor(t *testing.T) {
+	built, err := NewLossy(0, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	literal := Lossy{DelayProb: 0.3}
+	ra, rb := xrand.New(77), xrand.New(77)
+	for k := 0; k < 2000; k++ {
+		da, dropA := literal.Deliver(ra, k)
+		db, dropB := built.Deliver(rb, k)
+		if da != db || dropA != dropB {
+			t.Fatalf("draw %d: literal (%d, %v) vs constructed (%d, %v)", k, da, dropA, db, dropB)
+		}
+	}
+	// Streams must stay aligned after 2000 draws: one more draw from each
+	// source agrees too.
+	if a, b := ra.Float64(), rb.Float64(); a != b {
+		t.Fatalf("streams diverged: %g vs %g", a, b)
+	}
+	var zero Lossy
+	r := xrand.New(9)
+	before := r.Uint64()
+	r = xrand.New(9)
+	for k := 0; k < 100; k++ {
+		if d, drop := zero.Deliver(r, k); d != 0 || drop {
+			t.Fatalf("zero-value link degraded delivery: delay=%d drop=%v", d, drop)
+		}
+	}
+	if got := r.Uint64(); got != before {
+		t.Fatal("zero-value link consumed randomness")
+	}
+}

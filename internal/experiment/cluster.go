@@ -5,6 +5,7 @@ import (
 
 	"rths/internal/cluster"
 	"rths/internal/core"
+	"rths/internal/distsim"
 	"rths/internal/trace"
 )
 
@@ -64,6 +65,31 @@ type ClusterScenario struct {
 	Backend cluster.BackendKind
 	Workers int
 	Seed    uint64
+	// LinkDrop/LinkDelay/LinkMaxDelay parameterize the distsim lossy link
+	// model (both zero disables; requires the distsim backend). LinkSeed
+	// derives the link streams.
+	LinkDrop     float64
+	LinkDelay    float64
+	LinkMaxDelay int
+	LinkSeed     uint64
+	// Queueing switches delayed attach batches from loss to queueing
+	// semantics (buffered at the helper, served a round late).
+	Queueing bool
+	// FaultDomains > 1 stripes the helper pool across that many fault
+	// domains (helper h in domain h mod FaultDomains; all channel
+	// managers in domain 0), the substrate for regional partitions.
+	FaultDomains int
+	// PartitionDomain/PartitionFrom/PartitionUntil schedule one regional
+	// partition: the domain is cut off from the rest for stages
+	// [From, Until) (Until <= From disables).
+	PartitionDomain, PartitionFrom, PartitionUntil int
+	// CrashHelper/CrashFrom/CrashUntil schedule one fail-stop helper
+	// crash with recovery at Until (Until <= From disables).
+	CrashHelper, CrashFrom, CrashUntil int
+	// DetectorSuspect > 0 enables failure-aware eviction with that
+	// consecutive-miss threshold; DetectorReadmit is the readmission
+	// probation in stages (0 = cluster default).
+	DetectorSuspect, DetectorReadmit int
 }
 
 // ClusterScale is the tentpole's acceptance shape: 100 channels, 10k
@@ -148,6 +174,34 @@ func ClusterViews() ClusterScenario {
 	return s
 }
 
+// ClusterFaults is the fault-injection and recovery preset: the
+// laptop-scale shape on the distsim backend with mildly lossy queueing
+// links, the helper pool striped across three fault domains, one
+// fail-stop helper crash with recovery, a regional partition cutting a
+// third of the pool off for two epochs, and the failure detector
+// evicting unresponsive helpers and readmitting them after probation.
+// Disable the detector (DetectorSuspect = 0) for the baseline the
+// recovery experiment measures against.
+func ClusterFaults() ClusterScenario {
+	s := ClusterSmall()
+	s.Backend = cluster.BackendDistsim
+	s.LinkDrop = 0.01
+	s.LinkDelay = 0.05
+	s.LinkMaxDelay = 1
+	s.LinkSeed = 7
+	s.Queueing = true
+	s.FaultDomains = 3
+	s.PartitionDomain = 2
+	s.PartitionFrom = 40
+	s.PartitionUntil = 80
+	s.CrashHelper = 7
+	s.CrashFrom = 25
+	s.CrashUntil = 55
+	s.DetectorSuspect = 3
+	s.DetectorReadmit = 40
+	return s
+}
+
 // ChurnIDBase is the offset applied to replayed workload peer ids so they
 // sit far above anything the scenario layer (initial audiences, flash
 // crowds) allocates.
@@ -211,7 +265,47 @@ func (s ClusterScenario) Build() (cluster.Config, error) {
 	if s.FlashPeers > 0 {
 		cfg.Flash = []cluster.FlashCrowd{{Stage: s.FlashStage, Channel: s.FlashChannel, Peers: s.FlashPeers}}
 	}
+	if s.LinkDrop > 0 || s.LinkDelay > 0 {
+		link, err := distsim.NewLossy(s.LinkDrop, s.LinkDelay, s.LinkMaxDelay)
+		if err != nil {
+			return cluster.Config{}, fmt.Errorf("experiment: cluster scenario: %w", err)
+		}
+		cfg.Link = link
+		cfg.LinkSeed = s.LinkSeed
+	}
+	cfg.Faults = s.faultPlan()
+	if s.DetectorSuspect > 0 {
+		cfg.Detector = &cluster.DetectorConfig{SuspectAfter: s.DetectorSuspect, ReadmitAfter: s.DetectorReadmit}
+	}
 	return cfg, nil
+}
+
+// faultPlan assembles the scenario's distsim fault schedule, or nil when
+// no fault feature is configured. Helpers stripe across the fault
+// domains (helper h in domain h mod FaultDomains); channel managers all
+// live in domain 0, so partitioning a nonzero domain severs exactly that
+// helper stripe from every channel.
+func (s ClusterScenario) faultPlan() *distsim.FaultPlan {
+	crash := s.CrashUntil > s.CrashFrom
+	part := s.PartitionUntil > s.PartitionFrom
+	if s.FaultDomains <= 1 && !crash && !part && !s.Queueing {
+		return nil
+	}
+	p := &distsim.FaultPlan{Queueing: s.Queueing}
+	if s.FaultDomains > 1 {
+		doms := make([]int, s.Helpers)
+		for h := range doms {
+			doms[h] = h % s.FaultDomains
+		}
+		p.HelperDomains = doms
+	}
+	if part {
+		p.Partitions = []distsim.Partition{{Domain: s.PartitionDomain, From: s.PartitionFrom, Until: s.PartitionUntil}}
+	}
+	if crash {
+		p.Crashes = []distsim.HelperCrash{{Helper: s.CrashHelper, From: s.CrashFrom, Until: s.CrashUntil}}
+	}
+	return p
 }
 
 // New builds the running cluster for the scenario.

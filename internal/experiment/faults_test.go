@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"testing"
+
+	"rths/internal/cluster"
+)
+
+func TestClusterFaultsPresetBuilds(t *testing.T) {
+	s := ClusterFaults()
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Backend != cluster.BackendDistsim {
+		t.Fatalf("faults preset backend %v, want distsim", cfg.Backend)
+	}
+	if cfg.Link == nil {
+		t.Fatal("faults preset built no link model")
+	}
+	p := cfg.Faults
+	if p == nil {
+		t.Fatal("faults preset built no fault plan")
+	}
+	if !p.Queueing {
+		t.Fatal("faults preset lost queueing semantics")
+	}
+	if len(p.Crashes) != 1 || len(p.Partitions) != 1 {
+		t.Fatalf("faults preset plan: %d crashes, %d partitions", len(p.Crashes), len(p.Partitions))
+	}
+	if len(p.HelperDomains) != s.Helpers {
+		t.Fatalf("helper domains %d for %d helpers", len(p.HelperDomains), s.Helpers)
+	}
+	seen := map[int]bool{}
+	for _, d := range p.HelperDomains {
+		seen[d] = true
+	}
+	if len(seen) != s.FaultDomains {
+		t.Fatalf("striping covers %d domains, want %d", len(seen), s.FaultDomains)
+	}
+	if cfg.Detector == nil {
+		t.Fatal("faults preset built no detector")
+	}
+	if cfg.Detector.SuspectAfter != s.DetectorSuspect || cfg.Detector.ReadmitAfter != s.DetectorReadmit {
+		t.Fatalf("detector %+v does not match scenario (%d, %d)",
+			cfg.Detector, s.DetectorSuspect, s.DetectorReadmit)
+	}
+	// The built config actually runs.
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFreeScenarioBuildsNoPlan(t *testing.T) {
+	cfg, err := ClusterSmall().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults != nil || cfg.Detector != nil || cfg.Link != nil {
+		t.Fatalf("fault-free preset built fault machinery: faults=%v detector=%v link=%v",
+			cfg.Faults, cfg.Detector, cfg.Link)
+	}
+	// Degenerate fault fields stay inert: one domain, empty windows, no
+	// queueing — the plan collapses to nil rather than dragging the
+	// distsim adjudication path into clean runs.
+	s := ClusterSmall()
+	s.Backend = cluster.BackendDistsim
+	s.FaultDomains = 1
+	s.CrashFrom, s.CrashUntil = 10, 10
+	s.PartitionFrom, s.PartitionUntil = 20, 20
+	cfg, err = s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults != nil {
+		t.Fatalf("degenerate fault fields built a plan: %+v", cfg.Faults)
+	}
+}

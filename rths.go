@@ -120,6 +120,14 @@ type (
 	LinkModel = distsim.LinkModel
 	// LossyLink is the iid drop/delay link model.
 	LossyLink = distsim.Lossy
+	// FaultPlan is the deterministic fault schedule layered on the link
+	// model: fail-stop helper crashes with recovery, regional partitions
+	// over fault domains, and queueing semantics for late batches.
+	FaultPlan = distsim.FaultPlan
+	// HelperCrash schedules one fail-stop helper episode.
+	HelperCrash = distsim.HelperCrash
+	// FaultPartition schedules one regional partition window.
+	FaultPartition = distsim.Partition
 	// ChannelDemand is one channel's aggregate demand for helper allocation.
 	ChannelDemand = alloc.Channel
 	// MultiChannelTotals is the overlay's allocation-free aggregate view.
@@ -143,12 +151,12 @@ type (
 // Factory every peer runs the paper's RTHS learner with calibrated
 // defaults. SystemConfig.ViewSize bounds each peer's helper candidate
 // view (the paper's §III partial-view model): 0 wires every learner to
-// the full helper set; a positive bound below the construction-time
-// helper count keeps per-peer learner state at O(ViewSize²) however
-// large that pool is. The discipline is fixed at construction: a
-// ViewSize at or above the initial helper count is exactly the
-// full-view engine (bit-for-bit), including through later AddHelper
-// growth.
+// the full helper set; a positive bound keeps per-peer learner state at
+// O(ViewSize²) however large the pool grows. Views engage whenever the
+// pool exceeds the bound — at construction, or lazily when AddHelper
+// growth first crosses it (learners then shrink their views, keeping
+// their highest-probability helpers). A bound the pool never exceeds is
+// exactly the full-view engine, bit-for-bit.
 func NewSystem(cfg SystemConfig) (*System, error) { return core.New(cfg) }
 
 // DefaultHelperSpec is the paper's [700,800,900] kbps slowly-switching
@@ -190,6 +198,10 @@ type (
 	ClusterAllocator = cluster.AllocatorKind
 	// ClusterBackend selects the cluster's execution backend.
 	ClusterBackend = cluster.BackendKind
+	// ClusterDetector enables failure-aware eviction: helpers missing
+	// consecutive capacity replies are evicted through the churn path and
+	// readmitted after probation (requires ClusterBackendDistsim).
+	ClusterDetector = cluster.DetectorConfig
 	// ClusterScenario parameterizes the cluster presets.
 	ClusterScenario = experiment.ClusterScenario
 )
@@ -260,6 +272,14 @@ func ClusterChurn() ClusterScenario { return experiment.ClusterChurn() }
 // O(view²) instead of O(pool²) and helper migration touches only the
 // viewers whose views contain the moved helper.
 func ClusterViews() ClusterScenario { return experiment.ClusterViews() }
+
+// ClusterFaults is the fault-injection and recovery scenario: the distsim
+// backend with lossy queueing links, the helper pool striped across fault
+// domains, a scheduled fail-stop helper crash, a regional partition over
+// two epochs, and the failure detector evicting unresponsive helpers and
+// readmitting them after probation. Set DetectorSuspect = 0 for the
+// detector-disabled baseline.
+func ClusterFaults() ClusterScenario { return experiment.ClusterFaults() }
 
 // DefaultViewRefresh is the default partial-view refresh period in stages
 // (see SystemConfig.ViewRefresh).
