@@ -17,13 +17,16 @@
 // scenario's throughput regressed by more than -tolerance — the CI gate
 // that keeps the perf trajectory honest. Gate runs should use -repeat 3:
 // scheduler noise only slows a run down, so best-of-N is the stable
-// statistic to compare.
+// statistic to compare. Repeated runs also record each row's min/mean/max
+// spread (ns/stage and allocs/stage) so the report shows how noisy the
+// box was; the gate itself still compares only the min.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -48,7 +51,9 @@ type Report struct {
 }
 
 // ClusterResult is one multi-channel cluster measurement (stage loop plus
-// re-allocation boundaries, scenario events included).
+// re-allocation boundaries, scenario events included). NsPerStage is the
+// fastest of the -repeat rounds (the gate statistic); the mean/max fields
+// record the spread across rounds.
 type ClusterResult struct {
 	Name             string  `json:"name"`
 	Channels         int     `json:"channels"`
@@ -58,32 +63,45 @@ type ClusterResult struct {
 	FullOnly         bool    `json:"full_run_only,omitempty"`
 	Stages           int     `json:"stages"`
 	NsPerStage       float64 `json:"ns_per_stage"`
+	NsPerStageMean   float64 `json:"ns_per_stage_mean"`
+	NsPerStageMax    float64 `json:"ns_per_stage_max"`
 	StagesPerSec     float64 `json:"stages_per_sec"`
 	PeerStagesPerSec float64 `json:"peer_stages_per_sec"`
 }
 
-// ScenarioResult is one stage-engine measurement.
+// ScenarioResult is one stage-engine measurement. NsPerStage and
+// AllocsPerStage are per-round minima (the gate and the allocation pin);
+// the mean/max fields record the spread across the -repeat rounds.
 type ScenarioResult struct {
-	Name             string  `json:"name"`
-	Peers            int     `json:"peers"`
-	Helpers          int     `json:"helpers"`
-	Workers          int     `json:"workers"`
-	ViewSize         int     `json:"view_size,omitempty"`
-	FullOnly         bool    `json:"full_run_only,omitempty"`
-	Stages           int     `json:"stages"`
-	NsPerStage       float64 `json:"ns_per_stage"`
-	StagesPerSec     float64 `json:"stages_per_sec"`
-	PeerStagesPerSec float64 `json:"peer_stages_per_sec"`
-	AllocsPerStage   float64 `json:"allocs_per_stage"`
-	BytesPerStage    float64 `json:"bytes_per_stage"`
+	Name               string  `json:"name"`
+	Peers              int     `json:"peers"`
+	Helpers            int     `json:"helpers"`
+	Workers            int     `json:"workers"`
+	ViewSize           int     `json:"view_size,omitempty"`
+	FullOnly           bool    `json:"full_run_only,omitempty"`
+	Stages             int     `json:"stages"`
+	NsPerStage         float64 `json:"ns_per_stage"`
+	NsPerStageMean     float64 `json:"ns_per_stage_mean"`
+	NsPerStageMax      float64 `json:"ns_per_stage_max"`
+	StagesPerSec       float64 `json:"stages_per_sec"`
+	PeerStagesPerSec   float64 `json:"peer_stages_per_sec"`
+	AllocsPerStage     float64 `json:"allocs_per_stage"`
+	AllocsPerStageMean float64 `json:"allocs_per_stage_mean"`
+	AllocsPerStageMax  float64 `json:"allocs_per_stage_max"`
+	BytesPerStage      float64 `json:"bytes_per_stage"`
 }
 
 // LearnerResult is one learner-scaling measurement (O(m) check: ns/update
-// should grow linearly in m, not quadratically).
+// should grow linearly in m, not quadratically). NsPerOp and AllocsPerOp
+// are per-round minima; the mean/max fields record the spread.
 type LearnerResult struct {
-	M           int     `json:"m"`
-	NsPerOp     float64 `json:"ns_per_update"`
-	AllocsPerOp float64 `json:"allocs_per_update"`
+	M               int     `json:"m"`
+	NsPerOp         float64 `json:"ns_per_update"`
+	NsPerOpMean     float64 `json:"ns_per_update_mean"`
+	NsPerOpMax      float64 `json:"ns_per_update_max"`
+	AllocsPerOp     float64 `json:"allocs_per_update"`
+	AllocsPerOpMean float64 `json:"allocs_per_update_mean"`
+	AllocsPerOpMax  float64 `json:"allocs_per_update_max"`
 }
 
 type scenarioSpec struct {
@@ -166,15 +184,16 @@ func measureScenario(spec scenarioSpec, stages int) (ScenarioResult, error) {
 }
 
 type clusterSpec struct {
-	name     string
-	channels int
-	peers    int
-	helpers  int
-	workers  int
-	backend  rths.ClusterBackend
-	churn    bool // replay a generated churn trace through Cluster.Replay
-	faults   bool // run under the ClusterFaults lossy-link + fault plan
-	fullOnly bool // measured only with -full; excluded from the gate
+	name      string
+	channels  int
+	peers     int
+	helpers   int
+	workers   int
+	backend   rths.ClusterBackend
+	churn     bool // replay a generated churn trace through Cluster.Replay
+	faults    bool // run under the ClusterFaults lossy-link + fault plan
+	telemetry bool // attach a live metrics registry + discarded trace
+	fullOnly  bool // measured only with -full; excluded from the gate
 }
 
 func defaultClusterScenarios(full bool) []clusterSpec {
@@ -199,6 +218,11 @@ func defaultClusterScenarios(full bool) []clusterSpec {
 		// and failure detector. Bounds the fault adjudication + detector
 		// overhead against cluster-4ch-distsim (same shape, clean links).
 		{name: "cluster-faults-distsim", channels: 4, peers: 1000, helpers: 16, backend: rths.ClusterBackendDistsim, faults: true},
+		// The same fault row with the telemetry subsystem live: a populated
+		// metrics registry plus a lifecycle tracer writing to io.Discard.
+		// Gated like every sequential row, so the instrument overhead vs
+		// cluster-faults-distsim stays honest (the budget is a few percent).
+		{name: "cluster-faults-telemetry", channels: 4, peers: 1000, helpers: 16, backend: rths.ClusterBackendDistsim, faults: true, telemetry: true},
 	}
 	if full {
 		specs = append(specs, clusterSpec{
@@ -238,6 +262,10 @@ func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
 	cfg, err := sc.Build()
 	if err != nil {
 		return ClusterResult{}, fmt.Errorf("%s: %w", spec.name, err)
+	}
+	if spec.telemetry {
+		cfg.Metrics = rths.NewTelemetryRegistry()
+		cfg.Trace = rths.NewTracer(io.Discard)
 	}
 	c, err := rths.NewCluster(cfg)
 	if err != nil {
@@ -366,10 +394,12 @@ func measureLearner(m, iters int) (LearnerResult, error) {
 // buildReport runs every measurement; split from main so the test can
 // exercise the full pipeline with a trimmed budget. repeat > 1 runs the
 // whole measurement set that many times in interleaved rounds and keeps
-// each scenario's fastest round — scheduler and frequency noise only ever
-// slows a measurement down, and interleaving spreads every scenario's
-// repeats across the full wall-clock window so slow minutes cannot skew
-// the *relative* shape the regression gate normalizes against.
+// each scenario's fastest round as the row — scheduler and frequency noise
+// only ever slows a measurement down, and interleaving spreads every
+// scenario's repeats across the full wall-clock window so slow minutes
+// cannot skew the *relative* shape the regression gate normalizes against.
+// The discarded rounds are not thrown away entirely: every row records the
+// min/mean/max spread of its ns and allocs figures across the rounds.
 func buildReport(stages, repeat int, full bool) (*Report, error) {
 	if repeat < 1 {
 		repeat = 1
@@ -392,47 +422,115 @@ func buildReport(stages, repeat int, full bool) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			rep.Scenarios = keepFastest(rep.Scenarios, round, i, res,
-				func(a, b ScenarioResult) bool { return a.NsPerStage < b.NsPerStage })
+			rep.Scenarios = mergeScenario(rep.Scenarios, round, i, res)
 		}
 		for i, spec := range defaultClusterScenarios(full) {
 			res, err := measureCluster(spec, stages)
 			if err != nil {
 				return nil, err
 			}
-			rep.Cluster = keepFastest(rep.Cluster, round, i, res,
-				func(a, b ClusterResult) bool { return a.NsPerStage < b.NsPerStage })
+			rep.Cluster = mergeCluster(rep.Cluster, round, i, res)
 		}
 		{
 			res, err := measureDistsim("distsim-1ch-1k", 1000, 16, stages)
 			if err != nil {
 				return nil, err
 			}
-			rep.Distsim = keepFastest(rep.Distsim, round, 0, res,
-				func(a, b ScenarioResult) bool { return a.NsPerStage < b.NsPerStage })
+			rep.Distsim = mergeScenario(rep.Distsim, round, 0, res)
 		}
 		for i, m := range learnerMs {
 			res, err := measureLearner(m, learnerIters)
 			if err != nil {
 				return nil, err
 			}
-			rep.Learner = keepFastest(rep.Learner, round, i, res,
-				func(a, b LearnerResult) bool { return a.NsPerOp < b.NsPerOp })
+			rep.Learner = mergeLearner(rep.Learner, round, i, res)
 		}
 	}
+	finishSpreads(rep, repeat)
 	return rep, nil
 }
 
-// keepFastest merges one round's measurement into the accumulator: round 0
-// appends, later rounds replace slot i when the new result is faster.
-func keepFastest[T any](acc []T, round, i int, res T, faster func(a, b T) bool) []T {
+// The merge functions fold one round's measurement into the accumulator:
+// round 0 appends, later rounds keep the per-row minima as the headline
+// figures (NsPerStage and the throughputs derived from it are what the
+// gate compares; AllocsPerStage is what the allocation budget pins) while
+// the *Mean fields accumulate running sums — finishSpreads divides them by
+// the round count — and the *Max fields track the slowest round.
+
+func mergeScenario(acc []ScenarioResult, round, i int, res ScenarioResult) []ScenarioResult {
 	if round == 0 {
+		res.NsPerStageMean, res.NsPerStageMax = res.NsPerStage, res.NsPerStage
+		res.AllocsPerStageMean, res.AllocsPerStageMax = res.AllocsPerStage, res.AllocsPerStage
 		return append(acc, res)
 	}
-	if faster(res, acc[i]) {
-		acc[i] = res
+	row := &acc[i]
+	row.NsPerStageMean += res.NsPerStage
+	row.NsPerStageMax = math.Max(row.NsPerStageMax, res.NsPerStage)
+	row.AllocsPerStageMean += res.AllocsPerStage
+	row.AllocsPerStageMax = math.Max(row.AllocsPerStageMax, res.AllocsPerStage)
+	row.AllocsPerStage = math.Min(row.AllocsPerStage, res.AllocsPerStage)
+	if res.NsPerStage < row.NsPerStage {
+		row.NsPerStage = res.NsPerStage
+		row.StagesPerSec = res.StagesPerSec
+		row.PeerStagesPerSec = res.PeerStagesPerSec
+		row.BytesPerStage = res.BytesPerStage
 	}
 	return acc
+}
+
+func mergeCluster(acc []ClusterResult, round, i int, res ClusterResult) []ClusterResult {
+	if round == 0 {
+		res.NsPerStageMean, res.NsPerStageMax = res.NsPerStage, res.NsPerStage
+		return append(acc, res)
+	}
+	row := &acc[i]
+	row.NsPerStageMean += res.NsPerStage
+	row.NsPerStageMax = math.Max(row.NsPerStageMax, res.NsPerStage)
+	if res.NsPerStage < row.NsPerStage {
+		row.NsPerStage = res.NsPerStage
+		row.StagesPerSec = res.StagesPerSec
+		row.PeerStagesPerSec = res.PeerStagesPerSec
+	}
+	return acc
+}
+
+func mergeLearner(acc []LearnerResult, round, i int, res LearnerResult) []LearnerResult {
+	if round == 0 {
+		res.NsPerOpMean, res.NsPerOpMax = res.NsPerOp, res.NsPerOp
+		res.AllocsPerOpMean, res.AllocsPerOpMax = res.AllocsPerOp, res.AllocsPerOp
+		return append(acc, res)
+	}
+	row := &acc[i]
+	row.NsPerOpMean += res.NsPerOp
+	row.NsPerOpMax = math.Max(row.NsPerOpMax, res.NsPerOp)
+	row.AllocsPerOpMean += res.AllocsPerOp
+	row.AllocsPerOpMax = math.Max(row.AllocsPerOpMax, res.AllocsPerOp)
+	row.AllocsPerOp = math.Min(row.AllocsPerOp, res.AllocsPerOp)
+	if res.NsPerOp < row.NsPerOp {
+		row.NsPerOp = res.NsPerOp
+	}
+	return acc
+}
+
+// finishSpreads turns the running sums accumulated in the *Mean fields
+// into true means over the repeat rounds.
+func finishSpreads(rep *Report, repeat int) {
+	n := float64(repeat)
+	for i := range rep.Scenarios {
+		rep.Scenarios[i].NsPerStageMean /= n
+		rep.Scenarios[i].AllocsPerStageMean /= n
+	}
+	for i := range rep.Cluster {
+		rep.Cluster[i].NsPerStageMean /= n
+	}
+	for i := range rep.Distsim {
+		rep.Distsim[i].NsPerStageMean /= n
+		rep.Distsim[i].AllocsPerStageMean /= n
+	}
+	for i := range rep.Learner {
+		rep.Learner[i].NsPerOpMean /= n
+		rep.Learner[i].AllocsPerOpMean /= n
+	}
 }
 
 func writeReport(rep *Report, path string) error {

@@ -102,6 +102,53 @@ func TestBuildAndWriteReport(t *testing.T) {
 	}
 }
 
+// Repeated rounds must keep the minimum as the gate statistic while the
+// mean/max fields record the spread across rounds.
+func TestMergeRoundsRecordSpread(t *testing.T) {
+	rounds := []ScenarioResult{
+		{Name: "s", NsPerStage: 300, StagesPerSec: 1e9 / 300, PeerStagesPerSec: 10e9 / 300, AllocsPerStage: 2, BytesPerStage: 64},
+		{Name: "s", NsPerStage: 100, StagesPerSec: 1e9 / 100, PeerStagesPerSec: 10e9 / 100, AllocsPerStage: 4, BytesPerStage: 32},
+		{Name: "s", NsPerStage: 200, StagesPerSec: 1e9 / 200, PeerStagesPerSec: 10e9 / 200, AllocsPerStage: 3, BytesPerStage: 48},
+	}
+	var acc []ScenarioResult
+	for round, res := range rounds {
+		acc = mergeScenario(acc, round, 0, res)
+	}
+	rep := &Report{Scenarios: acc}
+	finishSpreads(rep, len(rounds))
+	got := rep.Scenarios[0]
+	if got.NsPerStage != 100 || got.PeerStagesPerSec != 10e9/100 || got.BytesPerStage != 32 {
+		t.Fatalf("headline figures not the fastest round's: %+v", got)
+	}
+	if got.NsPerStageMean != 200 || got.NsPerStageMax != 300 {
+		t.Fatalf("ns spread wrong: mean %g max %g, want 200/300", got.NsPerStageMean, got.NsPerStageMax)
+	}
+	if got.AllocsPerStage != 2 || got.AllocsPerStageMean != 3 || got.AllocsPerStageMax != 4 {
+		t.Fatalf("allocs spread wrong: min %g mean %g max %g, want 2/3/4",
+			got.AllocsPerStage, got.AllocsPerStageMean, got.AllocsPerStageMax)
+	}
+
+	var learners []LearnerResult
+	for round, ns := range []float64{50, 30, 40} {
+		learners = mergeLearner(learners, round, 0, LearnerResult{M: 8, NsPerOp: ns})
+	}
+	rep = &Report{Learner: learners}
+	finishSpreads(rep, 3)
+	l := rep.Learner[0]
+	if l.NsPerOp != 30 || l.NsPerOpMean != 40 || l.NsPerOpMax != 50 {
+		t.Fatalf("learner spread wrong: %+v", l)
+	}
+
+	// A single round degenerates to min == mean == max.
+	one := mergeCluster(nil, 0, 0, ClusterResult{Name: "c", NsPerStage: 70})
+	rep = &Report{Cluster: one}
+	finishSpreads(rep, 1)
+	c := rep.Cluster[0]
+	if c.NsPerStage != 70 || c.NsPerStageMean != 70 || c.NsPerStageMax != 70 {
+		t.Fatalf("single-round spread not degenerate: %+v", c)
+	}
+}
+
 // The gate must cover distsim rows: a regression specific to the batched
 // runtime trips it even when every shared-memory row holds.
 func TestCompareReportsGatesDistsim(t *testing.T) {

@@ -16,6 +16,20 @@
 //	rths-cluster -preset faults
 //	rths-cluster -preset faults -detector-suspect 0
 //	rths-cluster -preset faults -fault-loss-links -fault-delay 0.1
+//	rths-cluster -preset faults -out epochs.jsonl -trace events.jsonl
+//	rths-cluster -preset scale -metrics-addr 127.0.0.1:9090
+//
+// -metrics-addr serves live observability over HTTP while the run
+// executes: /metrics exposes the cluster's instrument set (welfare
+// ratio, continuity, max deficit, helpers down, stage-latency histogram,
+// distsim message counters) in Prometheus text format, and /debug/pprof
+// hosts the standard Go profiling handlers. ":0" picks a free port; the
+// bound address is printed on stderr. -metrics-hold keeps the server up
+// after the run finishes so short runs can still be scraped. -trace
+// writes the structured lifecycle event stream (epoch boundaries, helper
+// migrations, detector suspect/evict/readmit, fault windows, viewer
+// churn) as JSON lines; equal-seed traces are byte-identical. -out
+// redirects the per-epoch JSON records from stdout to a file.
 //
 // -view-size bounds every viewer's helper candidate view (the paper's
 // §III partial-view model): selection runs on at most that many helpers
@@ -52,6 +66,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"rths"
 )
@@ -122,6 +137,10 @@ func run(args []string, out, errOut io.Writer) error {
 	faultLossLinks := fs.Bool("fault-loss-links", false, "use loss semantics for late batches (disables queueing)")
 	detectorSuspect := fs.Int("detector-suspect", -1, "override the detector's consecutive-miss eviction threshold (0 disables the detector)")
 	detectorReadmit := fs.Int("detector-readmit", -1, "override the detector's readmission probation in stages")
+	outPath := fs.String("out", "", "write the per-epoch JSON records to this file instead of stdout")
+	tracePath := fs.String("trace", "", "write the lifecycle event trace (JSON lines) to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a free port)")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics server up this long after the run completes")
 	allocName := fs.String("alloc", "", "allocator: greedy, proportional or static")
 	backendName := fs.String("backend", "", "execution backend: memory or distsim")
 	workers := fs.Int("workers", -1, "override channel-stepping worker count")
@@ -254,12 +273,42 @@ func run(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var srv *rths.TelemetryServer
+	if *metricsAddr != "" {
+		reg := rths.NewTelemetryRegistry()
+		cfg.Metrics = reg
+		srv, err = rths.NewTelemetryServer(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(errOut, "metrics: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	}
+	var tracer *rths.TelemetryTracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = rths.NewTracer(f)
+		cfg.Trace = tracer
+	}
+	epochOut := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		epochOut = f
+	}
 	c, err := rths.NewCluster(cfg)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	enc := json.NewEncoder(out)
+	enc := json.NewEncoder(epochOut)
 	var encErr error
 	var moves, switches, joins, leaves int
 	var lateServed, evicted, readmitted, lastDown int
@@ -303,6 +352,15 @@ func run(args []string, out, errOut io.Writer) error {
 		fmt.Fprintf(errOut,
 			"faults: late_served=%d evicted=%d readmitted=%d helpers_down=%d\n",
 			lateServed, evicted, readmitted, lastDown)
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "trace: %d events -> %s\n", tracer.Events(), *tracePath)
+	}
+	if srv != nil && *metricsHold > 0 {
+		time.Sleep(*metricsHold)
 	}
 	return nil
 }

@@ -4,11 +4,36 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"rths"
 )
+
+// syncBuffer is a mutex-guarded bytes.Buffer: TestRunMetricsEndpoint
+// reads stderr while run is still writing it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 func TestRunSmallPresetEmitsEpochJSON(t *testing.T) {
 	var out, errOut bytes.Buffer
@@ -178,5 +203,126 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-backend", "quantum"}, &out, &errOut); err == nil {
 		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestRunOutAndTraceFiles exercises -out and -trace: epoch records land
+// in the file (stdout stays empty), the trace is parseable JSONL, and an
+// equal-seed rerun reproduces both byte-for-byte.
+func TestRunOutAndTraceFiles(t *testing.T) {
+	emit := func() (string, string) {
+		dir := t.TempDir()
+		outFile := filepath.Join(dir, "epochs.jsonl")
+		traceFile := filepath.Join(dir, "events.jsonl")
+		var out, errOut bytes.Buffer
+		err := run([]string{"-preset", "faults", "-epochs", "3",
+			"-out", outFile, "-trace", traceFile}, &out, &errOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != 0 {
+			t.Fatalf("-out set but stdout has %d bytes", out.Len())
+		}
+		if !strings.Contains(errOut.String(), "trace: ") {
+			t.Fatalf("summary missing trace line: %q", errOut.String())
+		}
+		epochs, err := os.ReadFile(outFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := os.ReadFile(traceFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(epochs), string(events)
+	}
+	epochs, events := emit()
+	lines := 0
+	sc := bufio.NewScanner(strings.NewReader(epochs))
+	for sc.Scan() {
+		var m rths.ClusterEpochMetrics
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad epoch line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("-out wrote %d epoch records, want 3", lines)
+	}
+	traced := 0
+	sc = bufio.NewScanner(strings.NewReader(events))
+	for sc.Scan() {
+		var e rths.TelemetryEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if e.Kind == "" {
+			t.Fatalf("trace line without kind: %q", sc.Text())
+		}
+		traced++
+	}
+	if traced == 0 {
+		t.Fatal("trace file empty")
+	}
+	epochs2, events2 := emit()
+	if epochs != epochs2 || events != events2 {
+		t.Fatal("equal-seed reruns produced different files")
+	}
+}
+
+// TestRunMetricsEndpoint starts the in-process metrics server, lets the
+// run finish under -metrics-hold, and scrapes /metrics while it serves.
+func TestRunMetricsEndpoint(t *testing.T) {
+	var out, errOut syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-preset", "small", "-epochs", "2",
+			"-metrics-addr", "127.0.0.1:0", "-metrics-hold", "20s"}, &out, &errOut)
+	}()
+	// The bound address is printed before the run starts; poll for it.
+	var addr string
+	for i := 0; i < 200 && addr == ""; i++ {
+		for _, line := range strings.Split(errOut.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "metrics: serving /metrics and /debug/pprof on http://"); ok {
+				addr = rest
+			}
+		}
+		if addr == "" {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if addr == "" {
+		t.Fatalf("bound address never printed: %q", errOut.String())
+	}
+	// Wait for the run itself to complete (the summary line) so the
+	// gauges hold final values, then scrape.
+	for i := 0; i < 500 && !strings.Contains(errOut.String(), "cluster: "); i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rths_welfare_ratio ",
+		"rths_helpers_down ",
+		"rths_stages_total 40",
+		"rths_stage_seconds_bucket",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Don't wait out the hold: the test process exits when run returns,
+	// so just verify the run is still holding (no error yet).
+	select {
+	case err := <-done:
+		t.Fatalf("run returned before the hold elapsed: %v", err)
+	default:
 	}
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"rths/internal/core"
 	"rths/internal/distsim"
+	"rths/internal/telemetry"
 )
 
 // distBackend executes the channels on the batched message-passing runtime:
@@ -18,7 +19,7 @@ type distBackend struct {
 	last *distsim.RoundStats // most recent round view (reused by the runtime)
 }
 
-func newDistBackend(cfg Config, assign []int, seeds []uint64, scale, startup float64) (*distBackend, error) {
+func newDistBackend(cfg Config, assign []int, seeds []uint64, scale, startup float64, batchSizes *telemetry.Histogram) (*distBackend, error) {
 	channels := make([]distsim.ChannelConfig, len(cfg.Channels))
 	for ci, spec := range cfg.Channels {
 		channels[ci] = distsim.ChannelConfig{
@@ -40,6 +41,7 @@ func newDistBackend(cfg Config, assign []int, seeds []uint64, scale, startup flo
 		Link:         cfg.Link,
 		LinkSeed:     cfg.LinkSeed,
 		Faults:       cfg.Faults,
+		BatchSizes:   batchSizes,
 	})
 	if err != nil {
 		return nil, err
@@ -76,6 +78,11 @@ func (b *distBackend) step(out []stageData) error {
 			stalled:    ch.Stalled,
 			lateServed: ch.LateServed,
 			faultMsgs:  ch.FaultMsgs,
+			msgs:       ch.Msgs,
+			batches:    ch.Batches,
+			lost:       ch.LostMsgs,
+			late:       ch.LateMsgs,
+			viewSwaps:  ch.ViewSwaps,
 		}
 	}
 	return nil

@@ -168,6 +168,7 @@ func (st *memChannel) step(out *stageData) {
 		opt:        res.OptWelfare,
 		serverLoad: res.ServerLoad,
 		minDeficit: res.MinDeficit,
+		viewSwaps:  res.ViewSwaps,
 	}
 	for i, b := range st.bufs {
 		ok, err := b.Tick(res.Rates[i])

@@ -45,11 +45,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"rths/internal/alloc"
 	"rths/internal/core"
 	"rths/internal/distsim"
 	"rths/internal/markov"
+	"rths/internal/telemetry"
 	"rths/internal/trace"
 	"rths/internal/xrand"
 )
@@ -224,6 +226,23 @@ type Config struct {
 	// the regular churn path and readmitted after probation. Requires
 	// BackendDistsim.
 	Detector *DetectorConfig
+	// Metrics, when non-nil, registers the cluster's instrument set on the
+	// registry: epoch gauges (welfare ratio, continuity, max deficit,
+	// active peers, helpers down), lifetime counters (stages, epochs,
+	// migrations, churn, detector verdicts, distsim round accounting) and
+	// histograms (stage wall time, distsim batch sizes). Instruments only
+	// observe — they consume no randomness and feed nothing back into the
+	// run, so enabling them never changes any deterministic output. nil
+	// disables telemetry at the cost of one pointer check per stage.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives the structured lifecycle event stream
+	// (epoch boundaries, helper migrations, detector suspect/evict/readmit,
+	// fault windows, view refreshes, viewer churn) as JSONL. Events are
+	// stamped with the stage clock, never wall time, and emitted by the
+	// director alone in a fixed order — a trace is byte-identical across
+	// equal-seed runs for every Workers value. The caller owns flushing
+	// (telemetry.Tracer.Flush) and the underlying writer.
+	Trace *telemetry.Tracer
 }
 
 // EpochMetrics is the cluster's per-epoch observable — the JSON record
@@ -310,6 +329,15 @@ type stageData struct {
 	stalled    int
 	lateServed int
 	faultMsgs  int
+	// Telemetry-only observables: distsim round accounting (zero on the
+	// shared-memory backend except viewSwaps) and partial-view refresh
+	// swaps. Consumed per stage by the instrument set and the event trace,
+	// not accumulated into epoch metrics.
+	msgs      int
+	batches   int
+	lost      int
+	late      int
+	viewSwaps int
 }
 
 func (a *stageData) accumulate(s stageData) {
@@ -440,6 +468,12 @@ type Cluster struct {
 	readmittedE int
 	recoverSum  float64
 	recoverN    int
+
+	// tel is the instrument set — always non-nil; with no registry its
+	// instruments are nil and no-op. trace is the lifecycle event stream
+	// (nil disables).
+	tel   *clusterTelemetry
+	trace *telemetry.Tracer
 }
 
 // New builds a cluster from the config.
@@ -592,6 +626,8 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.acc = make([]stageData, len(cfg.Channels))
 	c.scratch = make([]stageData, len(cfg.Channels))
+	c.tel = newClusterTelemetry(cfg.Metrics)
+	c.trace = cfg.Trace
 
 	c.faults = cfg.Faults
 	if cfg.Detector != nil {
@@ -611,7 +647,7 @@ func New(cfg Config) (*Cluster, error) {
 	var err error
 	switch cfg.Backend {
 	case BackendDistsim:
-		c.backend, err = newDistBackend(cfg, c.assign, seeds, scale, c.startup)
+		c.backend, err = newDistBackend(cfg, c.assign, seeds, scale, c.startup, c.tel.batchSizes)
 	default:
 		c.backend, err = newMemBackend(cfg, c.assign, seeds, scale, c.startup)
 	}
@@ -815,6 +851,7 @@ func (c *Cluster) RunEpoch() (EpochMetrics, error) {
 // crowds, Markov switching — sequential, deterministic order), then the
 // backend's channel-stepping phase.
 func (c *Cluster) step() error {
+	c.traceFaultWindows()
 	for c.flashIdx < len(c.flash) && c.flash[c.flashIdx].Stage == c.stage {
 		f := c.flash[c.flashIdx]
 		for k := 0; k < f.Peers; k++ {
@@ -839,9 +876,18 @@ func (c *Cluster) step() error {
 			c.switches++
 		}
 	}
+	var t0 time.Time
+	if c.tel.enabled {
+		t0 = time.Now()
+	}
 	if err := c.backend.step(c.scratch); err != nil {
 		return err
 	}
+	if c.tel.enabled {
+		c.tel.stageSeconds.Observe(time.Since(t0).Seconds())
+		c.tel.observeStage(c.scratch, len(c.byPeer))
+	}
+	c.traceViewRefreshes()
 	for ci := range c.scratch {
 		c.acc[ci].accumulate(c.scratch[ci])
 	}
@@ -984,6 +1030,12 @@ func (c *Cluster) boundary() (EpochMetrics, error) {
 	if c.recoverN > 0 {
 		m.MeanTimeToRecover = c.recoverSum / float64(c.recoverN)
 	}
+	if c.tel.enabled {
+		c.tel.observeBoundary(m)
+	}
+	if c.trace != nil {
+		c.trace.Emit(telemetry.Ev(c.stage, m.Epoch, telemetry.KindEpoch).WithValue(m.WelfareRatio))
+	}
 	c.switches, c.joins, c.leaves = 0, 0, 0
 	c.suspectedE, c.evictedE, c.readmittedE = 0, 0, 0
 	c.recoverSum, c.recoverN = 0, 0
@@ -1124,6 +1176,13 @@ func (c *Cluster) migrate(next alloc.Assignment) (int, error) {
 		}
 		dst.helperIDs = append(dst.helperIDs, h)
 		moves++
+		if c.trace != nil {
+			e := telemetry.Ev(c.stage, c.epoch, telemetry.KindMigrate)
+			e.Helper = h
+			e.Channel = c.assign[h]
+			e.To = target
+			c.trace.Emit(e)
+		}
 	}
 	for h, target := range next {
 		if c.assign[h] == target {
@@ -1245,6 +1304,12 @@ func (c *Cluster) Join(peerID, ci int) error {
 	st.peerIDs = append(st.peerIDs, peerID)
 	c.insertViewer(peerID)
 	c.joins++
+	if c.trace != nil {
+		e := telemetry.Ev(c.stage, c.epoch, telemetry.KindJoin)
+		e.Peer = peerID
+		e.Channel = ci
+		c.trace.Emit(e)
+	}
 	return nil
 }
 
@@ -1266,6 +1331,12 @@ func (c *Cluster) Leave(peerID int) error {
 	c.removeViewer(peerID)
 	c.pushFreeID(peerID)
 	c.leaves++
+	if c.trace != nil {
+		e := telemetry.Ev(c.stage, c.epoch, telemetry.KindLeave)
+		e.Peer = peerID
+		e.Channel = loc.channel
+		c.trace.Emit(e)
+	}
 	return nil
 }
 
@@ -1423,5 +1494,12 @@ func (c *Cluster) move(id, to int) error {
 	}
 	c.byPeer[id] = location{channel: to, local: len(dst.peerIDs)}
 	dst.peerIDs = append(dst.peerIDs, id)
+	if c.trace != nil {
+		e := telemetry.Ev(c.stage, c.epoch, telemetry.KindSwitch)
+		e.Peer = id
+		e.Channel = loc.channel
+		e.To = to
+		c.trace.Emit(e)
+	}
 	return nil
 }

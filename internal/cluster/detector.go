@@ -1,6 +1,10 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"rths/internal/telemetry"
+)
 
 // DetectorConfig enables the failure detector: the director counts
 // consecutive missed capacity replies per helper (from the distsim
@@ -65,6 +69,13 @@ func (c *Cluster) detectorPass() error {
 			c.misses[h]++
 			if c.misses[h] == c.detector.SuspectAfter {
 				c.suspectedE++
+				if c.trace != nil {
+					e := telemetry.Ev(c.stage, c.epoch, telemetry.KindSuspect)
+					e.Helper = h
+					e.Channel = c.assign[h]
+					e = e.WithValue(float64(c.misses[h]))
+					c.trace.Emit(e)
+				}
 			}
 			return
 		}
@@ -126,6 +137,13 @@ func (c *Cluster) evictHelper(h int) error {
 	c.evictedAt[h] = c.stage
 	c.expCaps[h] = 0
 	c.evictedE++
+	c.refreshHelpersDown()
+	if c.trace != nil {
+		e := telemetry.Ev(c.stage, c.epoch, telemetry.KindEvict)
+		e.Helper = h
+		e.Channel = ci
+		c.trace.Emit(e)
+	}
 	return nil
 }
 
@@ -144,5 +162,28 @@ func (c *Cluster) readmitHelper(h int) error {
 	c.misses[h] = 0
 	c.expCaps[h] = c.helpers[h].expCap
 	c.readmittedE++
+	c.refreshHelpersDown()
+	if c.trace != nil {
+		e := telemetry.Ev(c.stage, c.epoch, telemetry.KindReadmit)
+		e.Helper = h
+		e.Channel = ci
+		c.trace.Emit(e)
+	}
 	return nil
+}
+
+// refreshHelpersDown re-counts the evicted set into the helpers-down
+// gauge — called on every eviction and readmission so the gauge tracks
+// detector verdicts between epoch boundaries too.
+func (c *Cluster) refreshHelpersDown() {
+	if !c.tel.enabled {
+		return
+	}
+	down := 0
+	for _, ev := range c.evicted {
+		if ev {
+			down++
+		}
+	}
+	c.tel.helpersDown.Set(float64(down))
 }

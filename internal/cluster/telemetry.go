@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"rths/internal/telemetry"
+)
+
+// clusterTelemetry is the director's instrument set. It is built even
+// when telemetry is disabled (a nil registry hands out nil instruments
+// whose methods no-op), so the call sites never branch; `enabled` gates
+// only the work that has a real cost either way — wall-clock reads and
+// the per-stage scratch reduction.
+type clusterTelemetry struct {
+	enabled bool
+
+	// Gauges: the latest epoch's observables, refreshed at each boundary
+	// (active peers and helpers down also refresh per stage/eviction).
+	welfareRatio *telemetry.Gauge
+	continuity   *telemetry.Gauge
+	maxDeficit   *telemetry.Gauge
+	activePeers  *telemetry.Gauge
+	helpersDown  *telemetry.Gauge
+
+	// Counters: lifetime totals, updated per stage or per boundary.
+	stages       *telemetry.Counter
+	epochs       *telemetry.Counter
+	moves        *telemetry.Counter
+	joins        *telemetry.Counter
+	leaves       *telemetry.Counter
+	switches     *telemetry.Counter
+	suspected    *telemetry.Counter
+	evictions    *telemetry.Counter
+	readmissions *telemetry.Counter
+	viewSwaps    *telemetry.Counter
+
+	// Distsim round accounting (zero on the shared-memory backend).
+	msgs       *telemetry.Counter
+	batches    *telemetry.Counter
+	lostMsgs   *telemetry.Counter
+	lateMsgs   *telemetry.Counter
+	lateServed *telemetry.Counter
+	faultMsgs  *telemetry.Counter
+
+	// Histograms.
+	stageSeconds *telemetry.Histogram
+	batchSizes   *telemetry.Histogram
+}
+
+// newClusterTelemetry registers the cluster's instruments on reg. A nil
+// registry yields a disabled set: every instrument is nil (no-op) and
+// enabled is false.
+func newClusterTelemetry(reg *telemetry.Registry) *clusterTelemetry {
+	return &clusterTelemetry{
+		enabled: reg != nil,
+
+		welfareRatio: reg.NewGauge("rths_welfare_ratio", "Last epoch's welfare / optimal welfare."),
+		continuity:   reg.NewGauge("rths_continuity", "Last epoch's playback continuity played/(played+stalled)."),
+		maxDeficit:   reg.NewGauge("rths_max_deficit_kbps", "Last epoch boundary's worst-channel residual demand (kbps)."),
+		activePeers:  reg.NewGauge("rths_active_peers", "Current audience size across all channels."),
+		helpersDown:  reg.NewGauge("rths_helpers_down", "Helpers currently sitting evicted by the failure detector."),
+
+		stages:       reg.NewCounter("rths_stages_total", "Completed stages."),
+		epochs:       reg.NewCounter("rths_epochs_total", "Completed re-allocation epochs."),
+		moves:        reg.NewCounter("rths_helper_moves_total", "Helpers migrated at epoch boundaries."),
+		joins:        reg.NewCounter("rths_viewer_joins_total", "Viewer joins (flash crowds, scenario and replayed churn)."),
+		leaves:       reg.NewCounter("rths_viewer_leaves_total", "Viewer departures."),
+		switches:     reg.NewCounter("rths_viewer_switches_total", "Viewer channel switches (Markov zapping and replayed)."),
+		suspected:    reg.NewCounter("rths_suspected_helpers_total", "Detector suspicion threshold crossings."),
+		evictions:    reg.NewCounter("rths_evicted_helpers_total", "Detector evictions."),
+		readmissions: reg.NewCounter("rths_readmitted_helpers_total", "Post-probation readmissions."),
+		viewSwaps:    reg.NewCounter("rths_view_swaps_total", "Partial-view refresh swaps across all channels."),
+
+		msgs:       reg.NewCounter("rths_distsim_msgs_total", "Distsim protocol messages (ticks, reports, attaches, replies, hand-offs)."),
+		batches:    reg.NewCounter("rths_distsim_batches_total", "Distsim attach batches sent (one per pool helper per round)."),
+		lostMsgs:   reg.NewCounter("rths_distsim_lost_msgs_total", "Distsim data-plane messages dropped by the link model."),
+		lateMsgs:   reg.NewCounter("rths_distsim_late_msgs_total", "Distsim data-plane messages past the round deadline."),
+		lateServed: reg.NewCounter("rths_distsim_late_served_total", "Late attach batches buffered and served under queueing semantics."),
+		faultMsgs:  reg.NewCounter("rths_distsim_fault_msgs_total", "Helper exchanges suppressed by the fault plan."),
+
+		stageSeconds: reg.NewHistogram("rths_stage_seconds",
+			"Wall-clock duration of one cluster stage (backend step).", telemetry.LatencyBuckets()),
+		batchSizes: reg.NewHistogram("rths_distsim_batch_peers",
+			"Peers per distsim attach batch (merged from manager-local histograms in channel order).", telemetry.SizeBuckets()),
+	}
+}
+
+// observeStage folds one stage's per-channel scratch into the counters
+// — the deterministic merge point: workers filled scratch[ci] locally,
+// the director reduces in channel-index order. Only called when enabled.
+func (t *clusterTelemetry) observeStage(scratch []stageData, activePeers int) {
+	var msgs, batches, lost, late, served, fault, swaps uint64
+	for ci := range scratch {
+		s := &scratch[ci]
+		msgs += uint64(s.msgs)
+		batches += uint64(s.batches)
+		lost += uint64(s.lost)
+		late += uint64(s.late)
+		served += uint64(s.lateServed)
+		fault += uint64(s.faultMsgs)
+		swaps += uint64(s.viewSwaps)
+	}
+	if msgs > 0 {
+		t.msgs.Add(msgs)
+	}
+	if batches > 0 {
+		t.batches.Add(batches)
+	}
+	if lost > 0 {
+		t.lostMsgs.Add(lost)
+	}
+	if late > 0 {
+		t.lateMsgs.Add(late)
+	}
+	if served > 0 {
+		t.lateServed.Add(served)
+	}
+	if fault > 0 {
+		t.faultMsgs.Add(fault)
+	}
+	if swaps > 0 {
+		t.viewSwaps.Add(swaps)
+	}
+	t.stages.Inc()
+	t.activePeers.Set(float64(activePeers))
+}
+
+// observeBoundary refreshes the epoch gauges and counters from the
+// just-computed epoch metrics. Safe (no-op) when disabled.
+func (t *clusterTelemetry) observeBoundary(m EpochMetrics) {
+	t.welfareRatio.Set(m.WelfareRatio)
+	t.continuity.Set(m.Continuity)
+	t.maxDeficit.Set(m.MaxDeficit)
+	t.activePeers.Set(float64(m.ActivePeers))
+	t.helpersDown.Set(float64(m.HelpersDown))
+	t.epochs.Inc()
+	t.moves.Add(uint64(m.Moves))
+	t.joins.Add(uint64(m.Joins))
+	t.leaves.Add(uint64(m.Leaves))
+	t.switches.Add(uint64(m.Switches))
+	t.suspected.Add(uint64(m.Suspected))
+	t.evictions.Add(uint64(m.Evicted))
+	t.readmissions.Add(uint64(m.Readmitted))
+}
+
+// traceFaultWindows emits fault_open/fault_close events for every
+// scheduled crash and partition window touching this stage. The plan is
+// static, so scanning it per stage is O(windows) and the emission order
+// (crashes then partitions, schedule order) is deterministic.
+func (c *Cluster) traceFaultWindows() {
+	if c.trace == nil || c.faults == nil {
+		return
+	}
+	for _, cr := range c.faults.Crashes {
+		if cr.From >= cr.Until {
+			continue
+		}
+		if cr.From == c.stage {
+			e := telemetry.Ev(c.stage, c.epoch, telemetry.KindFaultOpen)
+			e.Helper = cr.Helper
+			e.Detail = "crash"
+			c.trace.Emit(e)
+		}
+		if cr.Until == c.stage {
+			e := telemetry.Ev(c.stage, c.epoch, telemetry.KindFaultClose)
+			e.Helper = cr.Helper
+			e.Detail = "crash"
+			c.trace.Emit(e)
+		}
+	}
+	for _, w := range c.faults.Partitions {
+		if w.From >= w.Until {
+			continue
+		}
+		if w.From == c.stage {
+			e := telemetry.Ev(c.stage, c.epoch, telemetry.KindFaultOpen)
+			e.Detail = "partition"
+			e = e.WithValue(float64(w.Domain))
+			c.trace.Emit(e)
+		}
+		if w.Until == c.stage {
+			e := telemetry.Ev(c.stage, c.epoch, telemetry.KindFaultClose)
+			e.Detail = "partition"
+			e = e.WithValue(float64(w.Domain))
+			c.trace.Emit(e)
+		}
+	}
+}
+
+// traceViewRefreshes emits one view_refresh event per channel that
+// performed refresh swaps this stage, in channel order.
+func (c *Cluster) traceViewRefreshes() {
+	if c.trace == nil {
+		return
+	}
+	for ci := range c.scratch {
+		if n := c.scratch[ci].viewSwaps; n > 0 {
+			e := telemetry.Ev(c.stage, c.epoch, telemetry.KindViewRefresh)
+			e.Channel = ci
+			e = e.WithValue(float64(n))
+			c.trace.Emit(e)
+		}
+	}
+}

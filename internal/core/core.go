@@ -17,9 +17,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"rths/internal/markov"
 	"rths/internal/regret"
+	"rths/internal/telemetry"
 	"rths/internal/xrand"
 )
 
@@ -176,6 +178,14 @@ type Config struct {
 	// 0 selects DefaultViewRefresh; negative disables refresh. Ignored
 	// when partial views are not engaged.
 	ViewRefresh int
+	// Instruments is the optional per-engine telemetry seam: when non-nil
+	// the stage loop observes select/feedback phase wall time and counts
+	// stages and view swaps into it. Each engine must own its own set (a
+	// cluster's shards update them concurrently). Nil disables the seam at
+	// the cost of one pointer check per stage; the instruments themselves
+	// never allocate or perturb determinism (wall time is observed, never
+	// fed back).
+	Instruments *telemetry.SystemInstruments
 }
 
 type helper struct {
@@ -262,6 +272,12 @@ type System struct {
 	// the split-phase and whole-stage entry points.
 	midStage bool
 
+	// inst is the optional telemetry seam (Config.Instruments); nil when
+	// disabled. stageViewSwaps counts this stage's refresh swaps for the
+	// StageResult regardless of inst.
+	inst           *telemetry.SystemInstruments
+	stageViewSwaps int
+
 	// Sharded parallel engine (Config.Workers > 1).
 	workers    int
 	shardRngs  []*xrand.Rand // per-shard selection streams
@@ -312,6 +328,10 @@ type StageResult struct {
 	// load that would remain if every helper's bandwidth were fully
 	// utilized, max(0, Σ demand - Σ capacities).
 	MinDeficit float64
+	// ViewSwaps is the number of partial-view refresh swaps performed at
+	// the top of this stage (0 when views are disabled or no refresh
+	// pass ran). Integer, deterministic, identical on every backend.
+	ViewSwaps int
 }
 
 // Clone deep-copies the result so observers may retain it across stages.
@@ -349,7 +369,7 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: ViewSize=%d", cfg.ViewSize)
 	}
 	rng := xrand.New(cfg.Seed)
-	s := &System{rng: rng}
+	s := &System{rng: rng, inst: cfg.Instruments}
 
 	scale := 0.0
 	for j, spec := range cfg.Helpers {
@@ -584,6 +604,10 @@ func (s *System) refreshViews() {
 			p.view.Add(u)
 			p.view.RemoveLocal(k)
 			p.viewChangedAt = s.stage
+			s.stageViewSwaps++
+			if s.inst != nil {
+				s.inst.ViewSwaps.Inc()
+			}
 		}
 	}
 }
@@ -689,6 +713,11 @@ func (s *System) stepInto(res *StageResult) error {
 // (SelectStage, driven by the distributed runtime) pass through, so both
 // backends refresh on exactly the same stages.
 func (s *System) selectPhase() error {
+	s.stageViewSwaps = 0
+	var t0 time.Time
+	if s.inst != nil {
+		t0 = time.Now()
+	}
 	if s.viewMaster != nil && s.viewRefresh > 0 && s.stage > 0 && s.stage%s.viewRefresh == 0 {
 		s.refreshViews()
 	}
@@ -716,12 +745,19 @@ func (s *System) selectPhase() error {
 			s.loads[a]++
 		}
 	}
+	if s.inst != nil {
+		s.inst.SelectSeconds.Observe(time.Since(t0).Seconds())
+	}
 	return nil
 }
 
 // finishInto completes a stage after selection: realized rates, bandit
 // feedback, and the stage metrics, all from the capacities in s.caps.
 func (s *System) finishInto(res *StageResult) error {
+	var t0 time.Time
+	if s.inst != nil {
+		t0 = time.Now()
+	}
 	// Realized rates and bandit feedback. One division per helper, not
 	// per peer: every peer on helper j receives the same C_j/load_j.
 	capSum := 0.0
@@ -775,8 +811,13 @@ func (s *System) finishInto(res *StageResult) error {
 	res.OptWelfare = s.optWelfare(capSum)
 	res.ServerLoad = serverLoad
 	res.MinDeficit = minDeficit
+	res.ViewSwaps = s.stageViewSwaps
 	for _, obs := range s.observers {
 		obs.ObserveStage(*res)
+	}
+	if s.inst != nil {
+		s.inst.FinishSeconds.Observe(time.Since(t0).Seconds())
+		s.inst.Stages.Inc()
 	}
 	s.stage++
 	return nil

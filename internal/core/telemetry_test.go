@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"rths/internal/telemetry"
+)
+
+// The zero-allocation stage contract must survive telemetry: with a live
+// instrument set attached (stage timing histograms, counters) Step still
+// allocates nothing in steady state — the instruments are fixed-size
+// atomics, observed in place.
+func TestStepZeroAllocsWithInstruments(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	inst := &telemetry.SystemInstruments{
+		SelectSeconds: reg.NewHistogram("core_select_seconds", "", telemetry.LatencyBuckets()),
+		FinishSeconds: reg.NewHistogram("core_finish_seconds", "", telemetry.LatencyBuckets()),
+		Stages:        reg.NewCounter("core_stages_total", ""),
+		ViewSwaps:     reg.NewCounter("core_view_swaps_total", ""),
+	}
+	cfg := defaultConfig(32, 4, 77)
+	cfg.DemandPerPeer = 650
+	cfg.Instruments = inst
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(64, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented Step allocates %g objects per stage, want 0", allocs)
+	}
+	if got := inst.Stages.Value(); got == 0 {
+		t.Fatal("stage counter never advanced — instruments not live")
+	}
+	if inst.SelectSeconds.Count() == 0 || inst.FinishSeconds.Count() == 0 {
+		t.Fatal("stage timing histograms never observed — instruments not live")
+	}
+}
+
+// Instrumented and uninstrumented engines must march in lockstep: the
+// instruments observe, they never perturb.
+func TestInstrumentsDoNotPerturb(t *testing.T) {
+	build := func(inst *telemetry.SystemInstruments) *System {
+		cfg := defaultConfig(24, 5, 99)
+		cfg.Instruments = inst
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	reg := telemetry.NewRegistry()
+	plain := build(nil)
+	inst := build(&telemetry.SystemInstruments{
+		SelectSeconds: reg.NewHistogram("p_select_seconds", "", telemetry.LatencyBuckets()),
+		FinishSeconds: reg.NewHistogram("p_finish_seconds", "", telemetry.LatencyBuckets()),
+		Stages:        reg.NewCounter("p_stages_total", ""),
+		ViewSwaps:     reg.NewCounter("p_view_swaps_total", ""),
+	})
+	for i := 0; i < 50; i++ {
+		a, err := plain.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := inst.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Welfare != b.Welfare || a.ServerLoad != b.ServerLoad || a.ViewSwaps != b.ViewSwaps {
+			t.Fatalf("stage %d diverged: welfare %g vs %g, load %g vs %g, swaps %d vs %d",
+				i, a.Welfare, b.Welfare, a.ServerLoad, b.ServerLoad, a.ViewSwaps, b.ViewSwaps)
+		}
+		for j := range a.Actions {
+			if a.Actions[j] != b.Actions[j] {
+				t.Fatalf("stage %d peer %d action diverged: %d vs %d", i, j, a.Actions[j], b.Actions[j])
+			}
+		}
+	}
+}

@@ -68,10 +68,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"rths/internal/core"
 	"rths/internal/markov"
 	"rths/internal/streaming"
+	"rths/internal/telemetry"
 	"rths/internal/xrand"
 )
 
@@ -127,6 +129,12 @@ type Config struct {
 	// consumed identically with and without a plan, so adding faults
 	// never perturbs the surviving traffic's randomness.
 	Faults *FaultPlan
+	// BatchSizes is an optional size histogram for attach-batch sizes
+	// (peers per batch). Each manager fills a private same-bucket twin on
+	// its own goroutine and the coordinator merges the twins in channel
+	// order once the round's managers are quiescent, so the merged counts
+	// are deterministic. Nil disables the instrument.
+	BatchSizes *telemetry.Histogram
 }
 
 // ChannelRound is one channel's view of a completed round. Slices alias
@@ -161,6 +169,18 @@ type ChannelRound struct {
 	// this round (crashed helper or severed partition — one per
 	// unreachable pool helper).
 	FaultMsgs int
+	// Msgs counts the channel's protocol messages this round: its
+	// coordinator tick and report, one attach batch and one capacity
+	// reply per pool helper, and one ownership hand-off per helper
+	// gained this round — 2 + 2·pool for a quiet round, so a whole
+	// deployment costs 2H + 2C messages per round plus migrations.
+	Msgs int
+	// Batches counts attach batches sent this round (one per pool
+	// helper — the whole round's peer→helper traffic).
+	Batches int
+	// ViewSwaps counts partial-view refresh swaps this round (see
+	// core.StageResult.ViewSwaps).
+	ViewSwaps int
 	// Actions, Rates, Loads and Capacities are the channel's per-peer and
 	// per-helper round views (local indices).
 	Actions    []int
@@ -181,6 +201,14 @@ type ChannelRound struct {
 type RoundStats struct {
 	Round    int
 	Channels []ChannelRound
+	// Msgs and Batches aggregate the per-channel protocol-message and
+	// attach-batch counts across channels (deterministic integers).
+	Msgs    int
+	Batches int
+	// WallNs is the coordinator-measured wall-clock duration of the
+	// round in nanoseconds. It is a measurement, not simulation state:
+	// it varies run to run and never feeds any deterministic output.
+	WallNs int64
 }
 
 type msgKind uint8
@@ -321,6 +349,11 @@ type manager struct {
 	missed   []bool    // per-helper failed-exchange ledger, rebuilt each round
 	deferred []float64 // per-peer rate buffered by queueing links (startup > 0 only)
 
+	// sizes is the manager-local attach-batch size histogram, a same-
+	// bucket twin of Config.BatchSizes that the coordinator merges and
+	// resets between rounds (nil when the instrument is disabled).
+	sizes *telemetry.Histogram
+
 	err error // sticky: a failed manager keeps the protocol alive but inert
 }
 
@@ -400,6 +433,7 @@ func (m *manager) applyOps(ops []op) {
 				levels: m.sys.HelperLevels(local),
 				reply:  m.replies,
 			}
+			m.out.Msgs++ // ownership hand-off
 			m.pool = append(m.pool, poolHelper{id: o.helper, node: o.node})
 			m.batch = append(m.batch, nil)
 			m.caps = append(m.caps, 0)
@@ -509,6 +543,15 @@ func (m *manager) stepRound(round int) {
 		}
 		m.caps[local] = rep.capacity
 	}
+	// Round accounting: the channel's tick and report, plus one attach
+	// and one reply per pool helper (hand-offs were counted as applied).
+	m.out.Batches = len(m.pool)
+	m.out.Msgs += 2 + 2*len(m.pool)
+	if m.sizes != nil {
+		for j := range m.pool {
+			m.sizes.Observe(float64(loads[j]))
+		}
+	}
 	for j, ok := range m.ok {
 		m.poolIDs[j] = m.pool[j].id
 		m.missed[j] = !ok
@@ -550,6 +593,7 @@ func (m *manager) stepRound(round int) {
 			m.out.Stalled++
 		}
 	}
+	m.out.ViewSwaps = res.ViewSwaps
 	m.out.Welfare = res.Welfare
 	m.out.OptWelfare = res.OptWelfare
 	m.out.ServerLoad = res.ServerLoad
@@ -572,7 +616,10 @@ type Runtime struct {
 	stats    RoundStats
 	pending  [][]op
 	round    int
-	started  bool
+	// batchSizes is the merge target for the managers' local size
+	// histograms (Config.BatchSizes; nil when disabled).
+	batchSizes *telemetry.Histogram
+	started    bool
 	closed   bool
 	wg       sync.WaitGroup
 }
@@ -612,9 +659,10 @@ func New(cfg Config) (*Runtime, error) {
 		linkMaster = xrand.New(cfg.LinkSeed)
 	}
 	rt := &Runtime{
-		reports: make(chan reportMsg, len(cfg.Channels)),
-		nodes:   make([]*helperNode, len(cfg.Helpers)),
-		pending: make([][]op, len(cfg.Channels)),
+		reports:    make(chan reportMsg, len(cfg.Channels)),
+		nodes:      make([]*helperNode, len(cfg.Helpers)),
+		pending:    make([][]op, len(cfg.Channels)),
+		batchSizes: cfg.BatchSizes,
 	}
 	rt.stats.Channels = make([]ChannelRound, len(cfg.Channels))
 	for ci, cc := range cfg.Channels {
@@ -669,6 +717,7 @@ func New(cfg Config) (*Runtime, error) {
 		if cfg.Faults != nil {
 			m.queueing = cfg.Faults.Queueing
 		}
+		m.sizes = cfg.BatchSizes.NewLike()
 		if linkMaster != nil {
 			m.linkRng = linkMaster.Split()
 		}
@@ -779,6 +828,7 @@ func (rt *Runtime) StepRound() (*RoundStats, error) {
 	if rt.closed {
 		return nil, errors.New("distsim: runtime closed")
 	}
+	t0 := time.Now()
 	if !rt.started {
 		rt.started = true
 		for _, m := range rt.managers {
@@ -806,10 +856,24 @@ func (rt *Runtime) StepRound() (*RoundStats, error) {
 			firstErr = rep.err
 		}
 	}
-	// Managers are quiescent again: reclaim the op queues for reuse.
+	// Managers are quiescent again: reclaim the op queues for reuse,
+	// aggregate the round accounting, and merge the manager-local size
+	// histograms in channel order (deterministic integer counts).
 	for ci := range rt.pending {
 		rt.pending[ci] = rt.pending[ci][:0]
 	}
+	rt.stats.Msgs, rt.stats.Batches = 0, 0
+	for ci := range rt.stats.Channels {
+		rt.stats.Msgs += rt.stats.Channels[ci].Msgs
+		rt.stats.Batches += rt.stats.Channels[ci].Batches
+	}
+	if rt.batchSizes != nil {
+		for _, m := range rt.managers {
+			rt.batchSizes.Merge(m.sizes)
+			m.sizes.Reset()
+		}
+	}
+	rt.stats.WallNs = time.Since(t0).Nanoseconds()
 	rt.stats.Round = rt.round
 	rt.round++
 	return &rt.stats, firstErr

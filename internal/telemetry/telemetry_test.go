@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	// The disabled mode: nil receivers must be safe on every method.
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	c.Merge(nil)
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	var g *Gauge
+	g.Set(3.5)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge value = %g", got)
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.Merge(nil)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if tw := h.NewLike(); tw != nil {
+		t.Fatalf("nil histogram NewLike = %v", tw)
+	}
+
+	var reg *Registry
+	if reg.NewCounter("x", "") != nil || reg.NewGauge("y", "") != nil ||
+		reg.NewHistogram("z", "", LatencyBuckets()) != nil {
+		t.Fatal("nil registry handed out a live instrument")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "test counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	other := &Counter{}
+	other.Add(8)
+	c.Merge(other)
+	if got := c.Value(); got != 50 {
+		t.Fatalf("merged counter = %d, want 50", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("reset counter = %d", got)
+	}
+
+	g := reg.NewGauge("g", "test gauge")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+}
+
+func TestHistogramObserveMergeReset(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 555.5 {
+		t.Fatalf("sum = %g, want 555.5", h.Sum())
+	}
+	tw := h.NewLike()
+	tw.Observe(0.25)
+	h.Merge(tw)
+	if h.Count() != 5 || h.Sum() != 555.75 {
+		t.Fatalf("after merge count=%d sum=%g", h.Count(), h.Sum())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("after reset count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.NewGauge("dup", "")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("t_requests_total", "Requests.")
+	c.Add(7)
+	g := reg.NewGauge("t_ratio", "Ratio.")
+	g.Set(0.25)
+	h := reg.NewHistogram("t_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE t_requests_total counter",
+		"t_requests_total 7",
+		"# TYPE t_ratio gauge",
+		"t_ratio 0.25",
+		"# TYPE t_latency_seconds histogram",
+		`t_latency_seconds_bucket{le="0.1"} 1`,
+		`t_latency_seconds_bucket{le="1"} 2`,
+		`t_latency_seconds_bucket{le="+Inf"} 3`,
+		"t_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is the render order, so output is deterministic.
+	var buf2 bytes.Buffer
+	reg.WritePrometheus(&buf2)
+	if out != buf2.String() {
+		t.Fatal("two renders of an unchanged registry differ")
+	}
+}
+
+func TestTracerDeterministicAndEscaped(t *testing.T) {
+	emit := func() string {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		tr.Emit(Ev(3, 0, KindEpoch).WithValue(0.5))
+		e := Ev(4, 0, KindMigrate)
+		e.Helper = 7
+		e.Channel = 1
+		e.To = 2
+		tr.Emit(e)
+		e = Ev(5, 0, KindFaultOpen)
+		e.Detail = `quo"te`
+		tr.Emit(e)
+		if err := tr.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if tr.Events() != 3 {
+			t.Fatalf("events = %d, want 3", tr.Events())
+		}
+		return buf.String()
+	}
+	a, b := emit(), emit()
+	if a != b {
+		t.Fatalf("two identical emissions differ:\n%s\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSuffix(a, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), a)
+	}
+	if lines[0] != `{"stage":3,"epoch":0,"kind":"epoch","value":0.5}` {
+		t.Errorf("epoch line = %s", lines[0])
+	}
+	if lines[1] != `{"stage":4,"epoch":0,"kind":"migrate","channel":1,"helper":7,"to":2}` {
+		t.Errorf("migrate line = %s", lines[1])
+	}
+	if !strings.Contains(lines[2], `"detail":"quo\"te"`) {
+		t.Errorf("detail not escaped: %s", lines[2])
+	}
+}
+
+func TestTracerSteadyStateZeroAlloc(t *testing.T) {
+	tr := NewTracer(&bytes.Buffer{})
+	e := Ev(1, 0, KindSuspect)
+	e.Helper = 3
+	tr.Emit(e) // warm the internal buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Emit(e)
+	})
+	// bufio flushes into the bytes.Buffer as it fills; allow the
+	// occasional growth but the JSON formatting itself must not allocate.
+	if allocs > 0.5 {
+		t.Fatalf("Emit allocates %.1f allocs/op", allocs)
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("za_total", "")
+	h := reg.NewHistogram("za_seconds", "", LatencyBuckets())
+	if a := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		h.Observe(0.001)
+	}); a != 0 {
+		t.Fatalf("live instruments allocate %.1f allocs/op", a)
+	}
+	var nc *Counter
+	var nh *Histogram
+	if a := testing.AllocsPerRun(100, func() {
+		nc.Add(3)
+		nh.Observe(0.001)
+	}); a != 0 {
+		t.Fatalf("nil instruments allocate %.1f allocs/op", a)
+	}
+}
+
+func TestServerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("srv_total", "Test.").Add(9)
+	s, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer s.Close()
+	body := httpGet(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(body, "srv_total 9") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := httpGet(t, "http://"+s.Addr()+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

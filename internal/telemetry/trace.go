@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Event is one structured lifecycle record: a fault window opening, a
+// detector verdict, a helper migration, an epoch boundary, a churn
+// application, a view refresh. Timestamps are stage-clock (the global
+// stage counter), never wall time, so a trace is byte-identical across
+// equal-seed runs and diffable across configurations.
+//
+// Stage, Epoch and Kind are always present; the remaining int fields
+// use -1 for "not applicable" and are omitted from the JSON line, as
+// are a false HasValue and an empty Detail. Build events with Ev so
+// the sentinels start out right.
+type Event struct {
+	Stage   int     `json:"stage"`
+	Epoch   int     `json:"epoch"`
+	Kind    string  `json:"kind"`
+	Channel int     `json:"channel"`
+	Helper  int     `json:"helper"`
+	Peer    int     `json:"peer"`
+	To      int     `json:"to"`
+	Value   float64 `json:"value"`
+	// HasValue marks Value as meaningful (Value 0 is otherwise omitted).
+	HasValue bool   `json:"-"`
+	Detail   string `json:"detail"`
+}
+
+// Event kinds emitted by the cluster runtime.
+const (
+	KindEpoch       = "epoch"        // epoch boundary; Value = welfare ratio
+	KindMigrate     = "migrate"      // helper migration; Channel = from, To = to
+	KindSuspect     = "suspect"      // detector suspicion threshold crossed
+	KindEvict       = "evict"        // detector eviction
+	KindReadmit     = "readmit"      // detector readmission after probation
+	KindFaultOpen   = "fault_open"   // scheduled fault window opens; Detail = crash|partition
+	KindFaultClose  = "fault_close"  // scheduled fault window closes
+	KindViewRefresh = "view_refresh" // partial-view refresh swaps; Value = swap count
+	KindJoin        = "join"         // viewer join
+	KindLeave       = "leave"        // viewer leave
+	KindSwitch      = "switch"       // viewer channel switch; Channel = from, To = to
+)
+
+// Ev returns an Event with the always-present fields set and every
+// optional field at its omitted sentinel.
+func Ev(stage, epoch int, kind string) Event {
+	return Event{Stage: stage, Epoch: epoch, Kind: kind, Channel: -1, Helper: -1, Peer: -1, To: -1}
+}
+
+// WithValue sets Value and marks it present.
+func (e Event) WithValue(v float64) Event {
+	e.Value = v
+	e.HasValue = true
+	return e
+}
+
+// Tracer writes Events as JSONL. It is not safe for concurrent use:
+// the cluster director is the single emitter, which is also what keeps
+// event order deterministic. A nil *Tracer is the disabled mode — every
+// method no-ops. Emission reuses an internal buffer, so steady-state
+// tracing does not allocate.
+type Tracer struct {
+	w   *bufio.Writer
+	buf []byte
+	n   int
+}
+
+// NewTracer builds a tracer writing JSONL to w. Call Flush before the
+// underlying writer is closed or inspected.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w)}
+}
+
+// Emit writes one event as a single JSON line. No-op on a nil receiver.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	b := t.buf[:0]
+	b = append(b, `{"stage":`...)
+	b = strconv.AppendInt(b, int64(e.Stage), 10)
+	b = append(b, `,"epoch":`...)
+	b = strconv.AppendInt(b, int64(e.Epoch), 10)
+	b = append(b, `,"kind":`...)
+	b = appendJSONString(b, e.Kind)
+	if e.Channel >= 0 {
+		b = append(b, `,"channel":`...)
+		b = strconv.AppendInt(b, int64(e.Channel), 10)
+	}
+	if e.Helper >= 0 {
+		b = append(b, `,"helper":`...)
+		b = strconv.AppendInt(b, int64(e.Helper), 10)
+	}
+	if e.Peer >= 0 {
+		b = append(b, `,"peer":`...)
+		b = strconv.AppendInt(b, int64(e.Peer), 10)
+	}
+	if e.To >= 0 {
+		b = append(b, `,"to":`...)
+		b = strconv.AppendInt(b, int64(e.To), 10)
+	}
+	if e.HasValue {
+		b = append(b, `,"value":`...)
+		b = appendFloat(b, e.Value)
+	}
+	if e.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = appendJSONString(b, e.Detail)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	t.n++
+	t.w.Write(b)
+}
+
+// Events returns the number of events emitted so far (0 on nil).
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Flush flushes buffered output to the underlying writer. No-op on nil.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	return t.w.Flush()
+}
+
+// appendJSONString appends s as a JSON string. Event kinds and details
+// are plain ASCII identifiers; anything below 0x20 or quoting-relevant
+// is escaped, which is all JSON requires for this character set.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, `\u00`...)
+			const hex = "0123456789abcdef"
+			b = append(b, hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

@@ -30,6 +30,8 @@
 package rths
 
 import (
+	"io"
+
 	"rths/internal/alloc"
 	"rths/internal/cluster"
 	"rths/internal/core"
@@ -40,6 +42,7 @@ import (
 	"rths/internal/overlay"
 	"rths/internal/regret"
 	"rths/internal/streaming"
+	"rths/internal/telemetry"
 	"rths/internal/trace"
 	"rths/internal/xrand"
 )
@@ -205,6 +208,37 @@ type (
 	// ClusterScenario parameterizes the cluster presets.
 	ClusterScenario = experiment.ClusterScenario
 )
+
+// Telemetry types (the runtime observability surface; see
+// ClusterConfig.Metrics and ClusterConfig.Trace). Instruments only
+// observe — enabling them never changes any deterministic output.
+type (
+	// TelemetryRegistry holds a run's instrument set and renders it in
+	// Prometheus text exposition format.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryServer serves a registry on /metrics plus the standard
+	// pprof handlers under /debug/pprof/.
+	TelemetryServer = telemetry.Server
+	// TelemetryTracer writes the structured lifecycle event stream (epoch
+	// boundaries, migrations, detector verdicts, fault windows, churn) as
+	// JSONL; stage-clock timestamps keep equal-seed traces byte-identical.
+	TelemetryTracer = telemetry.Tracer
+	// TelemetryEvent is one lifecycle trace record.
+	TelemetryEvent = telemetry.Event
+)
+
+// NewTelemetryRegistry builds an empty instrument registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewTelemetryServer serves reg on addr (":0" picks a free port); the
+// bound address is available via TelemetryServer.Addr.
+func NewTelemetryServer(addr string, reg *TelemetryRegistry) (*TelemetryServer, error) {
+	return telemetry.NewServer(addr, reg)
+}
+
+// NewTracer builds a lifecycle event tracer writing JSONL to w. Call
+// Flush before inspecting or closing the underlying writer.
+func NewTracer(w io.Writer) *TelemetryTracer { return telemetry.NewTracer(w) }
 
 // Cluster allocator kinds.
 const (
