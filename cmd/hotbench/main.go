@@ -193,6 +193,7 @@ type clusterSpec struct {
 	churn     bool // replay a generated churn trace through Cluster.Replay
 	faults    bool // run under the ClusterFaults lossy-link + fault plan
 	telemetry bool // attach a live metrics registry + discarded trace
+	series    bool // emit periodic per-entity series trace records
 	fullOnly  bool // measured only with -full; excluded from the gate
 }
 
@@ -223,6 +224,11 @@ func defaultClusterScenarios(full bool) []clusterSpec {
 		// Gated like every sequential row, so the instrument overhead vs
 		// cluster-faults-distsim stays honest (the budget is a few percent).
 		{name: "cluster-faults-telemetry", channels: 4, peers: 1000, helpers: 16, backend: rths.ClusterBackendDistsim, faults: true, telemetry: true},
+		// The dimensional row: everything cluster-faults-telemetry carries
+		// plus the per-channel/per-helper labeled gauges, round-span
+		// profiling and periodic series trace records. Bounds the full
+		// observability stack; the budget vs cluster-faults-distsim is ~5%.
+		{name: "cluster-faults-spans", channels: 4, peers: 1000, helpers: 16, backend: rths.ClusterBackendDistsim, faults: true, telemetry: true, series: true},
 	}
 	if full {
 		specs = append(specs, clusterSpec{
@@ -266,6 +272,9 @@ func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
 	if spec.telemetry {
 		cfg.Metrics = rths.NewTelemetryRegistry()
 		cfg.Trace = rths.NewTracer(io.Discard)
+	}
+	if spec.series {
+		cfg.SeriesEvery = 10
 	}
 	c, err := rths.NewCluster(cfg)
 	if err != nil {

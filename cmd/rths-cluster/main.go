@@ -17,19 +17,29 @@
 //	rths-cluster -preset faults -detector-suspect 0
 //	rths-cluster -preset faults -fault-loss-links -fault-delay 0.1
 //	rths-cluster -preset faults -out epochs.jsonl -trace events.jsonl
+//	rths-cluster -preset faults -trace events.jsonl -series-every 10 -trace-max-bytes 10000000
 //	rths-cluster -preset scale -metrics-addr 127.0.0.1:9090
 //
 // -metrics-addr serves live observability over HTTP while the run
 // executes: /metrics exposes the cluster's instrument set (welfare
 // ratio, continuity, max deficit, helpers down, stage-latency histogram,
-// distsim message counters) in Prometheus text format, and /debug/pprof
-// hosts the standard Go profiling handlers. ":0" picks a free port; the
-// bound address is printed on stderr. -metrics-hold keeps the server up
-// after the run finishes so short runs can still be scraped. -trace
-// writes the structured lifecycle event stream (epoch boundaries, helper
+// distsim message counters, per-channel and per-helper dimensional
+// gauges, round-span barrier-tax profile, Go runtime series) in
+// Prometheus text format, and /debug/pprof hosts the standard Go
+// profiling handlers. ":0" picks a free port; the bound address is
+// printed on stderr. -metrics-hold keeps the server up after the run
+// finishes so short runs can still be scraped. -trace writes the
+// structured lifecycle event stream (epoch boundaries, helper
 // migrations, detector suspect/evict/readmit, fault windows, viewer
 // churn) as JSON lines; equal-seed traces are byte-identical. -out
 // redirects the per-epoch JSON records from stdout to a file.
+//
+// -series-every N adds periodic per-entity samples to the trace: every N
+// stages one `series` record per channel (active_peers, pool_helpers,
+// welfare_ratio, continuity) and per helper (assign, down). The samples
+// feed rths-trace's straggler ranking and are fully deterministic.
+// -trace-max-bytes caps the trace file; when the cap is hit the stream
+// ends with a single `truncated` record and later events are dropped.
 //
 // -view-size bounds every viewer's helper candidate view (the paper's
 // §III partial-view model): selection runs on at most that many helpers
@@ -139,6 +149,8 @@ func run(args []string, out, errOut io.Writer) error {
 	detectorReadmit := fs.Int("detector-readmit", -1, "override the detector's readmission probation in stages")
 	outPath := fs.String("out", "", "write the per-epoch JSON records to this file instead of stdout")
 	tracePath := fs.String("trace", "", "write the lifecycle event trace (JSON lines) to this file")
+	seriesEvery := fs.Int("series-every", 0, "emit per-channel/per-helper series trace records every N stages (0 disables; needs -trace)")
+	traceMaxBytes := fs.Int64("trace-max-bytes", 0, "cap the trace file at this many bytes, sealing it with a truncated record (0 = unbounded)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (\":0\" picks a free port)")
 	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics server up this long after the run completes")
 	allocName := fs.String("alloc", "", "allocator: greedy, proportional or static")
@@ -276,6 +288,7 @@ func run(args []string, out, errOut io.Writer) error {
 	var srv *rths.TelemetryServer
 	if *metricsAddr != "" {
 		reg := rths.NewTelemetryRegistry()
+		reg.RegisterRuntimeMetrics()
 		cfg.Metrics = reg
 		srv, err = rths.NewTelemetryServer(*metricsAddr, reg)
 		if err != nil {
@@ -292,7 +305,11 @@ func run(args []string, out, errOut io.Writer) error {
 		}
 		defer f.Close()
 		tracer = rths.NewTracer(f)
+		if *traceMaxBytes > 0 {
+			tracer.LimitBytes(*traceMaxBytes)
+		}
 		cfg.Trace = tracer
+		cfg.SeriesEvery = *seriesEvery
 	}
 	epochOut := out
 	if *outPath != "" {
@@ -357,7 +374,11 @@ func run(args []string, out, errOut io.Writer) error {
 		if err := tracer.Flush(); err != nil {
 			return err
 		}
-		fmt.Fprintf(errOut, "trace: %d events -> %s\n", tracer.Events(), *tracePath)
+		suffix := ""
+		if tracer.Truncated() {
+			suffix = " (truncated at byte cap)"
+		}
+		fmt.Fprintf(errOut, "trace: %d events -> %s%s\n", tracer.Events(), *tracePath, suffix)
 	}
 	if srv != nil && *metricsHold > 0 {
 		time.Sleep(*metricsHold)

@@ -1,0 +1,478 @@
+// Command rths-trace is the offline analyzer for the cluster's JSONL
+// lifecycle trace (rths-cluster -trace). It reads one trace and prints:
+//
+//   - per-helper failure timelines: suspect → evict → readmit → recover
+//     chains with a time-to-recover distribution that reproduces the
+//     cluster's per-epoch mean-time-to-recover exactly (the recover
+//     events carry the same addends the epoch metric averages);
+//   - per-channel straggler ranking: from the periodic series samples
+//     (rths-cluster -series-every), which channel carried the most work
+//     per sample (active_peers is the deterministic work proxy — the
+//     manager's round cost is linear in its audience), its mean lead
+//     over the median channel, and the implied barrier tax — the
+//     fraction of fleet capacity a synchronous round barrier wastes;
+//   - migration flow matrices: channel→channel helper moves per epoch.
+//
+// Usage:
+//
+//	rths-trace events.jsonl
+//	rths-trace -format json events.jsonl
+//	rths-cluster -preset faults -trace /dev/stdout | rths-trace
+//
+// The trace carries stage-clock timestamps only, so analyzer output is
+// byte-identical across equal-seed reruns of the same scenario.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"sort"
+)
+
+// event is one parsed trace record, with the tracer's -1 sentinels
+// restored for absent fields.
+type event struct {
+	Stage   int
+	Epoch   int
+	Kind    string
+	Channel int
+	Helper  int
+	To      int
+	Value   float64
+	HasVal  bool
+	Detail  string
+}
+
+type rawEvent struct {
+	Stage   int      `json:"stage"`
+	Epoch   int      `json:"epoch"`
+	Kind    string   `json:"kind"`
+	Channel *int     `json:"channel"`
+	Helper  *int     `json:"helper"`
+	To      *int     `json:"to"`
+	Value   *float64 `json:"value"`
+	Detail  string   `json:"detail"`
+}
+
+// parseTrace reads JSONL events from r. Malformed lines are an error —
+// a trace is machine-written, so damage means the wrong file.
+func parseTrace(r io.Reader) ([]event, error) {
+	var events []event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var raw rawEvent
+		if err := json.Unmarshal(text, &raw); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		e := event{Stage: raw.Stage, Epoch: raw.Epoch, Kind: raw.Kind,
+			Channel: -1, Helper: -1, To: -1, Detail: raw.Detail}
+		if raw.Channel != nil {
+			e.Channel = *raw.Channel
+		}
+		if raw.Helper != nil {
+			e.Helper = *raw.Helper
+		}
+		if raw.To != nil {
+			e.To = *raw.To
+		}
+		if raw.Value != nil {
+			e.Value = *raw.Value
+			e.HasVal = true
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// TimelineEvent is one step of a helper's failure timeline.
+type TimelineEvent struct {
+	Kind  string  `json:"kind"`
+	Stage int     `json:"stage"`
+	Value float64 `json:"value,omitempty"`
+}
+
+// HelperTimeline is one helper's detector history in stage order.
+type HelperTimeline struct {
+	Helper int             `json:"helper"`
+	Events []TimelineEvent `json:"events"`
+	// TTRs are the helper's completed recovery lengths (stages from
+	// first missed reply to first clean post-readmission reply), in
+	// completion order.
+	TTRs []float64 `json:"ttrs,omitempty"`
+}
+
+// TTRStats summarizes a time-to-recover distribution.
+type TTRStats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+}
+
+// EpochTTR is the per-epoch recovery mean — computed exactly as the
+// cluster's EpochMetrics.MeanTimeToRecover (same addends, same order).
+type EpochTTR struct {
+	Epoch int     `json:"epoch"`
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+}
+
+// StragglerRow ranks one channel's critical-path record across the
+// series samples.
+type StragglerRow struct {
+	Channel int `json:"channel"`
+	// Samples is how many series samples exist; Straggler how many of
+	// them this channel gated (largest work proxy, ties to the lowest
+	// channel index).
+	Samples   int `json:"samples"`
+	Straggler int `json:"straggler_samples"`
+	// MeanLead is the mean of (own − median)/own over the samples this
+	// channel gated (0 when it never gated).
+	MeanLead float64 `json:"mean_lead"`
+}
+
+// Flow is one channel→channel helper-migration edge.
+type Flow struct {
+	From  int `json:"from"`
+	To    int `json:"to"`
+	Moves int `json:"moves"`
+}
+
+// EpochFlows is one epoch's migration flow matrix, sparse.
+type EpochFlows struct {
+	Epoch int    `json:"epoch"`
+	Flows []Flow `json:"flows"`
+}
+
+// Report is the analyzer's full output.
+type Report struct {
+	Events    int  `json:"events"`
+	Stages    int  `json:"stages"`
+	Epochs    int  `json:"epochs"`
+	Truncated bool `json:"truncated"`
+
+	Stragglers []StragglerRow `json:"straggler_ranking"`
+	// BarrierTax is the work-proxy estimate of the synchronous round
+	// barrier's cost: mean over samples of Σ(max−w)/(C·max), where w is
+	// each channel's work proxy. With round cost linear in the proxy,
+	// this is the fraction of fleet time spent idle at the barrier.
+	BarrierTax    float64 `json:"barrier_tax_work_proxy"`
+	SeriesSamples int     `json:"series_samples"`
+
+	Helpers  []HelperTimeline `json:"helper_timelines"`
+	TTR      *TTRStats        `json:"ttr,omitempty"`
+	EpochTTR []EpochTTR       `json:"epoch_ttr,omitempty"`
+
+	Flows      []EpochFlows `json:"migration_flows"`
+	TotalMoves int          `json:"total_moves"`
+}
+
+// analyze derives the report from a parsed trace. Pure and
+// deterministic: equal traces yield equal reports.
+func analyze(events []event) Report {
+	rep := Report{Events: len(events)}
+
+	// Pass 1: helper timelines, flows, series samples, bounds.
+	timelines := map[int]*HelperTimeline{}
+	flows := map[int]map[[2]int]int{} // epoch -> (from,to) -> moves
+	samples := map[int]map[int]float64{}
+	epochTTRSum := map[int]float64{}
+	epochTTRN := map[int]int{}
+	epochs := map[int]bool{}
+	for _, e := range events {
+		if e.Stage+1 > rep.Stages {
+			rep.Stages = e.Stage + 1
+		}
+		switch e.Kind {
+		case "suspect", "evict", "readmit", "recover":
+			tl := timelines[e.Helper]
+			if tl == nil {
+				tl = &HelperTimeline{Helper: e.Helper}
+				timelines[e.Helper] = tl
+			}
+			te := TimelineEvent{Kind: e.Kind, Stage: e.Stage}
+			if e.HasVal {
+				te.Value = e.Value
+			}
+			tl.Events = append(tl.Events, te)
+			if e.Kind == "recover" && e.HasVal {
+				tl.TTRs = append(tl.TTRs, e.Value)
+				epochTTRSum[e.Epoch] += e.Value
+				epochTTRN[e.Epoch]++
+			}
+		case "migrate":
+			if e.Channel >= 0 && e.To >= 0 {
+				m := flows[e.Epoch]
+				if m == nil {
+					m = map[[2]int]int{}
+					flows[e.Epoch] = m
+				}
+				m[[2]int{e.Channel, e.To}]++
+				rep.TotalMoves++
+			}
+		case "series":
+			if e.Detail == "active_peers" && e.Channel >= 0 {
+				s := samples[e.Stage]
+				if s == nil {
+					s = map[int]float64{}
+					samples[e.Stage] = s
+				}
+				s[e.Channel] = e.Value
+			}
+		case "epoch":
+			epochs[e.Epoch] = true
+		case "truncated":
+			rep.Truncated = true
+		}
+	}
+	rep.Epochs = len(epochs)
+
+	// Helper timelines in helper order; overall TTR stats.
+	helperIDs := make([]int, 0, len(timelines))
+	for h := range timelines {
+		helperIDs = append(helperIDs, h)
+	}
+	sort.Ints(helperIDs)
+	var allTTR []float64
+	for _, h := range helperIDs {
+		rep.Helpers = append(rep.Helpers, *timelines[h])
+		allTTR = append(allTTR, timelines[h].TTRs...)
+	}
+	if len(allTTR) > 0 {
+		rep.TTR = ttrStats(allTTR)
+	}
+	ttrEpochs := make([]int, 0, len(epochTTRN))
+	for ep := range epochTTRN {
+		ttrEpochs = append(ttrEpochs, ep)
+	}
+	sort.Ints(ttrEpochs)
+	for _, ep := range ttrEpochs {
+		rep.EpochTTR = append(rep.EpochTTR, EpochTTR{
+			Epoch: ep,
+			Count: epochTTRN[ep],
+			Mean:  epochTTRSum[ep] / float64(epochTTRN[ep]),
+		})
+	}
+
+	// Straggler ranking and work-proxy barrier tax from the series
+	// samples, processed in stage order.
+	stages := make([]int, 0, len(samples))
+	for st := range samples {
+		stages = append(stages, st)
+	}
+	sort.Ints(stages)
+	type chanAgg struct {
+		straggler int
+		leadSum   float64
+	}
+	agg := map[int]*chanAgg{}
+	var taxSum float64
+	for _, st := range stages {
+		s := samples[st]
+		chans := make([]int, 0, len(s))
+		for ci := range s {
+			chans = append(chans, ci)
+		}
+		sort.Ints(chans)
+		work := make([]float64, len(chans))
+		straggler, max := chans[0], s[chans[0]]
+		for i, ci := range chans {
+			work[i] = s[ci]
+			if work[i] > max {
+				straggler, max = ci, work[i]
+			}
+			if agg[ci] == nil {
+				agg[ci] = &chanAgg{}
+			}
+		}
+		if max <= 0 {
+			continue
+		}
+		slices.Sort(work)
+		median := work[len(work)/2]
+		a := agg[straggler]
+		a.straggler++
+		a.leadSum += (max - median) / max
+		var idle float64
+		for _, ci := range chans {
+			idle += max - s[ci]
+		}
+		taxSum += idle / (float64(len(chans)) * max)
+	}
+	rep.SeriesSamples = len(stages)
+	if len(stages) > 0 {
+		rep.BarrierTax = taxSum / float64(len(stages))
+	}
+	rankChans := make([]int, 0, len(agg))
+	for ci := range agg {
+		rankChans = append(rankChans, ci)
+	}
+	sort.Ints(rankChans)
+	for _, ci := range rankChans {
+		a := agg[ci]
+		row := StragglerRow{Channel: ci, Samples: len(stages), Straggler: a.straggler}
+		if a.straggler > 0 {
+			row.MeanLead = a.leadSum / float64(a.straggler)
+		}
+		rep.Stragglers = append(rep.Stragglers, row)
+	}
+	sort.SliceStable(rep.Stragglers, func(i, j int) bool {
+		return rep.Stragglers[i].Straggler > rep.Stragglers[j].Straggler
+	})
+
+	// Flow matrices: epochs ascending, edges (from, to) ascending.
+	flowEpochs := make([]int, 0, len(flows))
+	for ep := range flows {
+		flowEpochs = append(flowEpochs, ep)
+	}
+	sort.Ints(flowEpochs)
+	for _, ep := range flowEpochs {
+		ef := EpochFlows{Epoch: ep}
+		for edge, n := range flows[ep] {
+			ef.Flows = append(ef.Flows, Flow{From: edge[0], To: edge[1], Moves: n})
+		}
+		sort.Slice(ef.Flows, func(i, j int) bool {
+			if ef.Flows[i].From != ef.Flows[j].From {
+				return ef.Flows[i].From < ef.Flows[j].From
+			}
+			return ef.Flows[i].To < ef.Flows[j].To
+		})
+		rep.Flows = append(rep.Flows, ef)
+	}
+	return rep
+}
+
+// ttrStats summarizes a recovery distribution. ttr is not modified.
+func ttrStats(ttr []float64) *TTRStats {
+	sorted := append([]float64(nil), ttr...)
+	slices.Sort(sorted)
+	sum := 0.0
+	for _, v := range ttr {
+		sum += v
+	}
+	return &TTRStats{
+		Count: len(ttr),
+		Mean:  sum / float64(len(ttr)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   sorted[len(sorted)/2],
+	}
+}
+
+// renderTable prints the human-readable report.
+func renderTable(w io.Writer, rep Report) {
+	fmt.Fprintf(w, "trace: %d events, %d stages, %d epochs", rep.Events, rep.Stages, rep.Epochs)
+	if rep.Truncated {
+		fmt.Fprint(w, " (truncated by byte cap)")
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "\n== Straggler ranking (work proxy: active_peers series) ==")
+	if rep.SeriesSamples == 0 {
+		fmt.Fprintln(w, "no series samples (run with -series-every)")
+	} else {
+		for _, row := range rep.Stragglers {
+			fmt.Fprintf(w, "channel %d: straggler in %d/%d samples, mean lead %.3f\n",
+				row.Channel, row.Straggler, row.Samples, row.MeanLead)
+		}
+		fmt.Fprintf(w, "barrier tax (work proxy): %.3f\n", rep.BarrierTax)
+	}
+
+	fmt.Fprintln(w, "\n== Helper recovery timelines ==")
+	if len(rep.Helpers) == 0 {
+		fmt.Fprintln(w, "no detector events")
+	}
+	for _, tl := range rep.Helpers {
+		fmt.Fprintf(w, "helper %d:", tl.Helper)
+		for _, te := range tl.Events {
+			if te.Kind == "recover" {
+				fmt.Fprintf(w, " recover@%d(ttr=%g)", te.Stage, te.Value)
+			} else {
+				fmt.Fprintf(w, " %s@%d", te.Kind, te.Stage)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if rep.TTR != nil {
+		fmt.Fprintf(w, "TTR: n=%d mean=%.2f min=%g max=%g p50=%g\n",
+			rep.TTR.Count, rep.TTR.Mean, rep.TTR.Min, rep.TTR.Max, rep.TTR.P50)
+		for _, et := range rep.EpochTTR {
+			fmt.Fprintf(w, "epoch %d: n=%d mean=%.2f\n", et.Epoch, et.Count, et.Mean)
+		}
+	}
+
+	fmt.Fprintln(w, "\n== Migration flows (channel -> channel helper moves) ==")
+	if len(rep.Flows) == 0 {
+		fmt.Fprintln(w, "no migrations")
+	}
+	for _, ef := range rep.Flows {
+		n := 0
+		for _, f := range ef.Flows {
+			n += f.Moves
+		}
+		fmt.Fprintf(w, "epoch %d: %d moves\n", ef.Epoch, n)
+		for _, f := range ef.Flows {
+			fmt.Fprintf(w, "  %d -> %d: %d\n", f.From, f.To, f.Moves)
+		}
+	}
+	fmt.Fprintf(w, "total: %d moves\n", rep.TotalMoves)
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("rths-trace", flag.ContinueOnError)
+	format := fs.String("format", "table", "output format: table|json")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "json" {
+		return fmt.Errorf("unknown -format %q (want table or json)", *format)
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("at most one trace path, got %d", fs.NArg())
+	}
+	in := stdin
+	if fs.NArg() == 1 && fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := parseTrace(in)
+	if err != nil {
+		return err
+	}
+	rep := analyze(events)
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	renderTable(out, rep)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rths-trace:", err)
+		os.Exit(1)
+	}
+}

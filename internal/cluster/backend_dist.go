@@ -19,7 +19,7 @@ type distBackend struct {
 	last *distsim.RoundStats // most recent round view (reused by the runtime)
 }
 
-func newDistBackend(cfg Config, assign []int, seeds []uint64, scale, startup float64, batchSizes *telemetry.Histogram) (*distBackend, error) {
+func newDistBackend(cfg Config, assign []int, seeds []uint64, scale, startup float64, batchSizes *telemetry.Histogram, spans *telemetry.Recorder) (*distBackend, error) {
 	channels := make([]distsim.ChannelConfig, len(cfg.Channels))
 	for ci, spec := range cfg.Channels {
 		channels[ci] = distsim.ChannelConfig{
@@ -42,6 +42,7 @@ func newDistBackend(cfg Config, assign []int, seeds []uint64, scale, startup flo
 		LinkSeed:     cfg.LinkSeed,
 		Faults:       cfg.Faults,
 		BatchSizes:   batchSizes,
+		Spans:        spans,
 	})
 	if err != nil {
 		return nil, err
@@ -101,6 +102,16 @@ func (b *distBackend) eachReply(fn func(helper int, missed bool)) {
 			fn(id, ch.Missed[j])
 		}
 	}
+}
+
+// roundProfile returns the last round's critical-path attribution and
+// the runtime's cumulative barrier tax (ok false until a profiled round
+// has run).
+func (b *distBackend) roundProfile() (distsim.RoundProfile, float64, bool) {
+	if b.last == nil || b.last.Profile == nil {
+		return distsim.RoundProfile{}, 0, false
+	}
+	return *b.last.Profile, b.rt.BarrierTax(), true
 }
 
 // lastResult rebuilds the core.StageResult view from the channel's round

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"rths/internal/core"
+	"rths/internal/distsim"
 	"rths/internal/streaming"
 )
 
@@ -151,6 +152,12 @@ func (b *memBackend) lastResult(ci int) core.StageResult { return b.channels[ci]
 // eachReply is a no-op: the shared-memory backend has no links, so every
 // exchange trivially succeeds and there is no ledger to walk.
 func (b *memBackend) eachReply(fn func(helper int, missed bool)) {}
+
+// roundProfile reports no profile: the shared-memory backend has no
+// round barrier to attribute time to.
+func (b *memBackend) roundProfile() (distsim.RoundProfile, float64, bool) {
+	return distsim.RoundProfile{}, 0, false
+}
 
 func (b *memBackend) close() error { return nil }
 

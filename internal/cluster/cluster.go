@@ -243,6 +243,13 @@ type Config struct {
 	// equal-seed runs for every Workers value. The caller owns flushing
 	// (telemetry.Tracer.Flush) and the underlying writer.
 	Trace *telemetry.Tracer
+	// SeriesEvery > 0 emits periodic per-entity samples into Trace every
+	// SeriesEvery stages: one "series" event per channel per series name
+	// (active_peers, pool_helpers, welfare_ratio, continuity — ascending
+	// channel order) and per helper (assign, down — ascending helper id).
+	// All values are stage-clock-deterministic, so the trace stays
+	// byte-identical across equal-seed runs. 0 disables; requires Trace.
+	SeriesEvery int
 }
 
 // EpochMetrics is the cluster's per-epoch observable — the JSON record
@@ -377,6 +384,10 @@ type backend interface {
 	// whether its exchange failed (drop, fatal delay, crash, partition).
 	// The shared-memory backend has no links and reports nothing.
 	eachReply(fn func(helper int, missed bool))
+	// roundProfile returns the most recent step's critical-path
+	// attribution and the cumulative barrier tax; ok is false when the
+	// backend doesn't profile rounds (shared memory, or spans disabled).
+	roundProfile() (p distsim.RoundProfile, barrierTax float64, ok bool)
 	// close releases backend resources (joins node goroutines on distsim).
 	close() error
 }
@@ -471,9 +482,17 @@ type Cluster struct {
 
 	// tel is the instrument set — always non-nil; with no registry its
 	// instruments are nil and no-op. trace is the lifecycle event stream
-	// (nil disables).
-	tel   *clusterTelemetry
-	trace *telemetry.Tracer
+	// (nil disables); seriesEvery is the per-entity sampling period into
+	// it (0 disables).
+	tel         *clusterTelemetry
+	trace       *telemetry.Tracer
+	seriesEvery int
+
+	// spans is the distsim round-span ring (telemetry + distsim backend
+	// only); chSupply is reusable boundary scratch for per-channel
+	// assigned capacity.
+	spans    *telemetry.Recorder
+	chSupply []float64
 }
 
 // New builds a cluster from the config.
@@ -509,6 +528,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.ViewSize < 0 {
 		return nil, fmt.Errorf("cluster: ViewSize=%d", cfg.ViewSize)
+	}
+	if cfg.SeriesEvery < 0 {
+		return nil, fmt.Errorf("cluster: SeriesEvery=%d", cfg.SeriesEvery)
 	}
 	if cfg.Link != nil && cfg.Backend != BackendDistsim {
 		return nil, errors.New("cluster: Link requires BackendDistsim")
@@ -626,8 +648,25 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.acc = make([]stageData, len(cfg.Channels))
 	c.scratch = make([]stageData, len(cfg.Channels))
-	c.tel = newClusterTelemetry(cfg.Metrics)
+	names := make([]string, len(cfg.Channels))
+	for ci, ch := range cfg.Channels {
+		names[ci] = ch.Name
+	}
+	c.tel = newClusterTelemetry(cfg.Metrics, names, len(cfg.Helpers))
 	c.trace = cfg.Trace
+	c.seriesEvery = cfg.SeriesEvery
+	if c.tel.enabled && cfg.Backend == BackendDistsim {
+		// Keep a few rounds of spans per channel; bound the ring so a
+		// 1k-channel fleet stays at fixed memory.
+		capacity := 8 * len(cfg.Channels)
+		if capacity < 256 {
+			capacity = 256
+		}
+		if capacity > 8192 {
+			capacity = 8192
+		}
+		c.spans = telemetry.NewRecorder(capacity)
+	}
 
 	c.faults = cfg.Faults
 	if cfg.Detector != nil {
@@ -647,7 +686,7 @@ func New(cfg Config) (*Cluster, error) {
 	var err error
 	switch cfg.Backend {
 	case BackendDistsim:
-		c.backend, err = newDistBackend(cfg, c.assign, seeds, scale, c.startup, c.tel.batchSizes)
+		c.backend, err = newDistBackend(cfg, c.assign, seeds, scale, c.startup, c.tel.batchSizes, c.spans)
 	default:
 		c.backend, err = newMemBackend(cfg, c.assign, seeds, scale, c.startup)
 	}
@@ -886,6 +925,9 @@ func (c *Cluster) step() error {
 	if c.tel.enabled {
 		c.tel.stageSeconds.Observe(time.Since(t0).Seconds())
 		c.tel.observeStage(c.scratch, len(c.byPeer))
+		if p, tax, ok := c.backend.roundProfile(); ok {
+			c.tel.observeProfile(p, tax)
+		}
 	}
 	c.traceViewRefreshes()
 	for ci := range c.scratch {
@@ -896,9 +938,51 @@ func (c *Cluster) step() error {
 			return err
 		}
 	}
+	c.emitSeries()
 	c.stage++
 	c.stagesInEpoch++
 	return nil
+}
+
+// emitSeries writes the periodic per-entity trace samples: one series
+// event per channel series then per helper series, in ascending entity
+// order. Every value is a function of deterministic simulation state
+// (audience sizes, epoch-to-date welfare, assignment, detector state),
+// so series records never break trace byte-identity.
+func (c *Cluster) emitSeries() {
+	if c.trace == nil || c.seriesEvery <= 0 || (c.stage+1)%c.seriesEvery != 0 {
+		return
+	}
+	emit := func(ci, h int, detail string, v float64) {
+		e := telemetry.Ev(c.stage, c.epoch, telemetry.KindSeries)
+		e.Channel = ci
+		e.Helper = h
+		e.Detail = detail
+		c.trace.Emit(e.WithValue(v))
+	}
+	for ci := range c.channels {
+		ch := c.channels[ci]
+		a := &c.acc[ci]
+		ratio, cont := 1.0, 1.0
+		if a.opt > 0 {
+			ratio = a.welfare / a.opt
+		}
+		if a.played+a.stalled > 0 {
+			cont = float64(a.played) / float64(a.played+a.stalled)
+		}
+		emit(ci, -1, "active_peers", float64(len(ch.peerIDs)))
+		emit(ci, -1, "pool_helpers", float64(len(ch.helperIDs)))
+		emit(ci, -1, "welfare_ratio", ratio)
+		emit(ci, -1, "continuity", cont)
+	}
+	for h := range c.helpers {
+		emit(-1, h, "assign", float64(c.assign[h]))
+		down := 0.0
+		if len(c.evicted) > 0 && c.evicted[h] {
+			down = 1
+		}
+		emit(-1, h, "down", down)
+	}
 }
 
 // StageTotals is the aggregate-only view of one stage: channel-order sums
@@ -966,6 +1050,9 @@ func (c *Cluster) boundary() (EpochMetrics, error) {
 		stalled += a.stalled
 		lateServed += a.lateServed
 		faultMsgs += a.faultMsgs
+		if c.tel.enabled {
+			c.tel.observeChannelEpoch(ci, *a, len(c.channels[ci].peerIDs))
+		}
 		*a = stageData{}
 	}
 	moves, err := c.reallocate()
@@ -991,6 +1078,9 @@ func (c *Cluster) boundary() (EpochMetrics, error) {
 	maxDef, err := alloc.MaxDeficit(c.demands, caps, c.assign)
 	if err != nil {
 		return EpochMetrics{}, fmt.Errorf("cluster: epoch deficit: %w", err)
+	}
+	if c.tel.enabled {
+		c.observeEntityGauges(caps)
 	}
 	down := 0
 	for _, ev := range c.evicted {

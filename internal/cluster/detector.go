@@ -81,10 +81,19 @@ func (c *Cluster) detectorPass() error {
 		}
 		if c.wasEvicted[h] && c.downAt[h] >= 0 {
 			// First clean reply after an eviction cycle: the helper's
-			// outage ran from its first missed reply to now.
-			c.recoverSum += float64(c.stage - c.downAt[h])
+			// outage ran from its first missed reply to now. The recover
+			// event carries exactly the addend that feeds this epoch's
+			// MeanTimeToRecover, so offline analyzers can reproduce it.
+			outage := c.stage - c.downAt[h]
+			c.recoverSum += float64(outage)
 			c.recoverN++
 			c.wasEvicted[h] = false
+			if c.trace != nil {
+				e := telemetry.Ev(c.stage, c.epoch, telemetry.KindRecover)
+				e.Helper = h
+				e.Channel = c.assign[h]
+				c.trace.Emit(e.WithValue(float64(outage)))
+			}
 		}
 		c.misses[h] = 0
 		c.downAt[h] = -1

@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation inflates fixed per-round costs and flattens wall-clock
+// ratios, so timing-threshold assertions gate on it.
+const raceEnabled = true

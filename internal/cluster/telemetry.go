@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"strconv"
+
+	"rths/internal/distsim"
 	"rths/internal/telemetry"
 )
 
@@ -43,13 +46,35 @@ type clusterTelemetry struct {
 	// Histograms.
 	stageSeconds *telemetry.Histogram
 	batchSizes   *telemetry.Histogram
+
+	// Dimensional series: labeled families resolved to plain per-entity
+	// handles at construction (With is a one-time lookup; the handles
+	// are ordinary atomic instruments), indexed by channel index /
+	// global helper id. Channel gauges refresh at epoch boundaries,
+	// helper gauges after each re-allocation, straggler counters per
+	// stage.
+	chWelfare    []*telemetry.Gauge
+	chContinuity []*telemetry.Gauge
+	chActive     []*telemetry.Gauge
+	chDeficit    []*telemetry.Gauge
+	chPool       []*telemetry.Gauge
+	chStraggler  []*telemetry.Counter
+	hAssign      []*telemetry.Gauge
+	hExpCap      []*telemetry.Gauge
+	hDown        []*telemetry.Gauge
+
+	// Round-span attribution (distsim backend with telemetry only).
+	barrierTax    *telemetry.Gauge
+	stragglerLead *telemetry.Gauge
 }
 
-// newClusterTelemetry registers the cluster's instruments on reg. A nil
-// registry yields a disabled set: every instrument is nil (no-op) and
-// enabled is false.
-func newClusterTelemetry(reg *telemetry.Registry) *clusterTelemetry {
-	return &clusterTelemetry{
+// newClusterTelemetry registers the cluster's instruments on reg,
+// including the per-channel and per-helper labeled families with one
+// pre-resolved handle per entity (channels label by configured name,
+// helpers by global id). A nil registry yields a disabled set: every
+// instrument is nil (no-op) and enabled is false.
+func newClusterTelemetry(reg *telemetry.Registry, channelNames []string, helpers int) *clusterTelemetry {
+	t := &clusterTelemetry{
 		enabled: reg != nil,
 
 		welfareRatio: reg.NewGauge("rths_welfare_ratio", "Last epoch's welfare / optimal welfare."),
@@ -80,7 +105,47 @@ func newClusterTelemetry(reg *telemetry.Registry) *clusterTelemetry {
 			"Wall-clock duration of one cluster stage (backend step).", telemetry.LatencyBuckets()),
 		batchSizes: reg.NewHistogram("rths_distsim_batch_peers",
 			"Peers per distsim attach batch (merged from manager-local histograms in channel order).", telemetry.SizeBuckets()),
+
+		barrierTax: reg.NewGauge("rths_barrier_tax",
+			"Cumulative fleet idle time at the distsim round barrier / total fleet time."),
+		stragglerLead: reg.NewGauge("rths_straggler_lead_ratio",
+			"Last round's (straggler span - median span) / straggler span."),
 	}
+
+	chWelfare := reg.NewLabeledGauge("rths_channel_welfare_ratio",
+		"Last epoch's per-channel welfare / optimal welfare.", "channel")
+	chContinuity := reg.NewLabeledGauge("rths_channel_continuity",
+		"Last epoch's per-channel playback continuity.", "channel")
+	chActive := reg.NewLabeledGauge("rths_channel_active_peers",
+		"Per-channel audience size at the last epoch boundary.", "channel")
+	chDeficit := reg.NewLabeledGauge("rths_channel_deficit_kbps",
+		"Per-channel residual demand under the post-boundary assignment (kbps).", "channel")
+	chPool := reg.NewLabeledGauge("rths_channel_pool_helpers",
+		"Helpers assigned to the channel after the last boundary.", "channel")
+	chStraggler := reg.NewLabeledCounter("rths_channel_straggler_rounds_total",
+		"Rounds in which the channel was the fleet's critical path.", "channel")
+	for _, name := range channelNames {
+		t.chWelfare = append(t.chWelfare, chWelfare.With(name))
+		t.chContinuity = append(t.chContinuity, chContinuity.With(name))
+		t.chActive = append(t.chActive, chActive.With(name))
+		t.chDeficit = append(t.chDeficit, chDeficit.With(name))
+		t.chPool = append(t.chPool, chPool.With(name))
+		t.chStraggler = append(t.chStraggler, chStraggler.With(name))
+	}
+
+	hAssign := reg.NewLabeledGauge("rths_helper_assigned_channel",
+		"The helper's current channel index.", "helper")
+	hExpCap := reg.NewLabeledGauge("rths_helper_expected_capacity_kbps",
+		"The helper's effective expected capacity (0 while unreachable at the boundary).", "helper")
+	hDown := reg.NewLabeledGauge("rths_helper_down",
+		"1 while the failure detector holds the helper evicted.", "helper")
+	for h := 0; h < helpers; h++ {
+		id := strconv.Itoa(h)
+		t.hAssign = append(t.hAssign, hAssign.With(id))
+		t.hExpCap = append(t.hExpCap, hExpCap.With(id))
+		t.hDown = append(t.hDown, hDown.With(id))
+	}
+	return t
 }
 
 // observeStage folds one stage's per-channel scratch into the counters
@@ -139,6 +204,65 @@ func (t *clusterTelemetry) observeBoundary(m EpochMetrics) {
 	t.suspected.Add(uint64(m.Suspected))
 	t.evictions.Add(uint64(m.Evicted))
 	t.readmissions.Add(uint64(m.Readmitted))
+}
+
+// observeChannelEpoch refreshes channel ci's epoch gauges from its
+// epoch accumulator, just before the boundary resets it. Only called
+// when enabled.
+func (t *clusterTelemetry) observeChannelEpoch(ci int, a stageData, activePeers int) {
+	ratio, cont := 1.0, 1.0
+	if a.opt > 0 {
+		ratio = a.welfare / a.opt
+	}
+	if a.played+a.stalled > 0 {
+		cont = float64(a.played) / float64(a.played+a.stalled)
+	}
+	t.chWelfare[ci].Set(ratio)
+	t.chContinuity[ci].Set(cont)
+	t.chActive[ci].Set(float64(activePeers))
+}
+
+// observeProfile publishes the last round's critical-path attribution:
+// the cumulative barrier tax, the straggler's lead over the median, and
+// one straggler-round tick for the gating channel. Only called when
+// enabled and the backend profiles rounds.
+func (t *clusterTelemetry) observeProfile(p distsim.RoundProfile, tax float64) {
+	t.barrierTax.Set(tax)
+	t.stragglerLead.Set(p.LeadRatio)
+	t.chStraggler[p.Straggler].Inc()
+}
+
+// observeEntityGauges refreshes the post-boundary per-channel deficit/
+// pool gauges and the per-helper assignment gauges. caps is the
+// boundary's effective expected capacity per helper (fault-honest when
+// a plan is set). Runs after reallocate, so it reads the assignment the
+// next epoch starts with. Only called when enabled.
+func (c *Cluster) observeEntityGauges(caps []float64) {
+	t := c.tel
+	if c.chSupply == nil {
+		c.chSupply = make([]float64, len(c.channels))
+	}
+	for ci := range c.chSupply {
+		c.chSupply[ci] = 0
+	}
+	for h, ci := range c.assign {
+		c.chSupply[ci] += caps[h]
+		t.hAssign[h].Set(float64(ci))
+		t.hExpCap[h].Set(caps[h])
+		down := 0.0
+		if len(c.evicted) > 0 && c.evicted[h] {
+			down = 1
+		}
+		t.hDown[h].Set(down)
+	}
+	for ci := range c.channels {
+		deficit := c.demands[ci].Demand - c.chSupply[ci]
+		if deficit < 0 {
+			deficit = 0
+		}
+		t.chDeficit[ci].Set(deficit)
+		t.chPool[ci].Set(float64(len(c.channels[ci].helperIDs)))
+	}
 }
 
 // traceFaultWindows emits fault_open/fault_close events for every

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"rths/internal/core"
 	"rths/internal/telemetry"
 )
 
@@ -37,6 +38,7 @@ func TestTelemetryOnOffBitIdentical(t *testing.T) {
 			cfg.Workers = workers
 			cfg.Metrics = telemetry.NewRegistry()
 			cfg.Trace = telemetry.NewTracer(&bytes.Buffer{})
+			cfg.SeriesEvery = 5
 			got := runEpochs(t, cfg, epochs)
 			for e := range base {
 				if got[e] != base[e] {
@@ -51,6 +53,7 @@ func TestTelemetryOnOffBitIdentical(t *testing.T) {
 		cfg := faultConfig(21, true)
 		cfg.Metrics = telemetry.NewRegistry()
 		cfg.Trace = telemetry.NewTracer(&bytes.Buffer{})
+		cfg.SeriesEvery = 5
 		got := runEpochs(t, cfg, epochs)
 		for e := range base {
 			if got[e] != base[e] {
@@ -233,5 +236,134 @@ func TestTraceDetectorTimeline(t *testing.T) {
 	// evictions but no readmissions after 100 stages would be wrong too.
 	if len(lines[7].readmit) == 0 {
 		t.Error("helper 7 evicted but never readmitted in 100 stages with 40-stage probation")
+	}
+}
+
+// The dimensional families must expose one child per entity, keyed by
+// the configured channel name / helper index, alongside the round-span
+// profile gauges.
+func TestDimensionalSeriesExposition(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := fourChannelConfig(13, BackendDistsim)
+	cfg.Metrics = reg
+	if _, err := runOne(t, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`rths_channel_welfare_ratio{channel="hot"} `,
+		`rths_channel_continuity{channel="cold-b"} `,
+		`rths_channel_active_peers{channel="warm"} `,
+		`rths_channel_deficit_kbps{channel="hot"} `,
+		`rths_channel_pool_helpers{channel="hot"} `,
+		`rths_helper_assigned_channel{helper="0"} `,
+		`rths_helper_expected_capacity_kbps{helper="39"} `,
+		`rths_helper_down{helper="0"} 0`,
+		"rths_barrier_tax ",
+		"rths_straggler_lead_ratio ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Straggler attribution is a labeled counter over channels; across an
+	// epoch the per-channel straggler rounds must sum to the round count.
+	total := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "rths_channel_straggler_rounds_total{") {
+			v, err := strconv.Atoi(line[strings.LastIndexByte(line, ' ')+1:])
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			total += v
+		}
+	}
+	if total != cfg.EpochStages {
+		t.Fatalf("straggler rounds sum to %d, want %d (one straggler per round)", total, cfg.EpochStages)
+	}
+}
+
+// runOne drives cfg for a single epoch.
+func runOne(t *testing.T, cfg Config) (EpochMetrics, error) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		return EpochMetrics{}, err
+	}
+	defer c.Close()
+	return c.RunEpoch()
+}
+
+// An adversarially named channel must not corrupt the exposition: the
+// label value is escaped per the Prometheus text format end to end.
+func TestHostileChannelNameEscapedOnMetricsPage(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := fourChannelConfig(17, BackendMemory)
+	cfg.Channels[1].Name = "evil\"quote\\slash\nnewline"
+	cfg.Metrics = reg
+	if _, err := runOne(t, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	want := `rths_channel_active_peers{channel="evil\"quote\\slash\nnewline"} `
+	if !strings.Contains(out, want) {
+		t.Fatalf("hostile channel name not escaped; exposition:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.Contains(line, "evil") && !strings.Contains(line, `evil\"quote`) {
+			t.Fatalf("raw hostile name leaked into line %q", line)
+		}
+	}
+}
+
+// The barrier-tax gauge separates skewed from uniform audiences: with one
+// channel holding nearly all peers the fleet idles most of each round
+// (tax well above one half); with equal audiences the tax stays below it.
+func TestBarrierTaxSkewVsUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock span measurement")
+	}
+	tax := func(peers [4]int) float64 {
+		cfg := Config{
+			Channels: []ChannelSpec{
+				{Name: "a", Bitrate: 600, InitialPeers: peers[0]},
+				{Name: "b", Bitrate: 600, InitialPeers: peers[1]},
+				{Name: "c", Bitrate: 600, InitialPeers: peers[2]},
+				{Name: "d", Bitrate: 600, InitialPeers: peers[3]},
+			},
+			Helpers:     UniformHelpers(40, core.DefaultHelperSpec()),
+			Backend:     BackendDistsim,
+			EpochStages: 20,
+			Seed:        29,
+			Metrics:     telemetry.NewRegistry(),
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Run(2, nil); err != nil {
+			t.Fatal(err)
+		}
+		return c.tel.barrierTax.Value()
+	}
+	skewed := tax([4]int{2000, 5, 5, 5})
+	uniform := tax([4]int{500, 500, 500, 500})
+	if uniform >= skewed {
+		t.Errorf("uniform tax %g not below skewed tax %g", uniform, skewed)
+	}
+	// The absolute thresholds hold only without race instrumentation,
+	// which inflates the fixed per-round cost and flattens the ratio.
+	if !raceEnabled {
+		if skewed <= 0.5 {
+			t.Errorf("skewed audience barrier tax = %g, want > 0.5", skewed)
+		}
+		if uniform >= 0.5 {
+			t.Errorf("uniform audience barrier tax = %g, want < 0.5", uniform)
+		}
 	}
 }

@@ -17,7 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"rths/internal/markov"
 	"rths/internal/regret"
@@ -714,9 +713,9 @@ func (s *System) stepInto(res *StageResult) error {
 // backends refresh on exactly the same stages.
 func (s *System) selectPhase() error {
 	s.stageViewSwaps = 0
-	var t0 time.Time
+	var t0 int64
 	if s.inst != nil {
-		t0 = time.Now()
+		t0 = s.inst.Now()
 	}
 	if s.viewMaster != nil && s.viewRefresh > 0 && s.stage > 0 && s.stage%s.viewRefresh == 0 {
 		s.refreshViews()
@@ -746,7 +745,7 @@ func (s *System) selectPhase() error {
 		}
 	}
 	if s.inst != nil {
-		s.inst.SelectSeconds.Observe(time.Since(t0).Seconds())
+		s.inst.SelectSeconds.Observe(float64(s.inst.Now()-t0) / 1e9)
 	}
 	return nil
 }
@@ -754,9 +753,9 @@ func (s *System) selectPhase() error {
 // finishInto completes a stage after selection: realized rates, bandit
 // feedback, and the stage metrics, all from the capacities in s.caps.
 func (s *System) finishInto(res *StageResult) error {
-	var t0 time.Time
+	var t0 int64
 	if s.inst != nil {
-		t0 = time.Now()
+		t0 = s.inst.Now()
 	}
 	// Realized rates and bandit feedback. One division per helper, not
 	// per peer: every peer on helper j receives the same C_j/load_j.
@@ -816,7 +815,7 @@ func (s *System) finishInto(res *StageResult) error {
 		obs.ObserveStage(*res)
 	}
 	if s.inst != nil {
-		s.inst.FinishSeconds.Observe(time.Since(t0).Seconds())
+		s.inst.FinishSeconds.Observe(float64(s.inst.Now()-t0) / 1e9)
 		s.inst.Stages.Inc()
 	}
 	s.stage++

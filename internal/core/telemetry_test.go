@@ -9,13 +9,15 @@ import (
 // The zero-allocation stage contract must survive telemetry: with a live
 // instrument set attached (stage timing histograms, counters) Step still
 // allocates nothing in steady state — the instruments are fixed-size
-// atomics, observed in place.
+// atomics, observed in place. The instruments are resolved from labeled
+// families here on purpose: a pre-resolved handle IS a plain instrument,
+// so dimensional metrics must not cost the hot path anything either.
 func TestStepZeroAllocsWithInstruments(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	inst := &telemetry.SystemInstruments{
-		SelectSeconds: reg.NewHistogram("core_select_seconds", "", telemetry.LatencyBuckets()),
-		FinishSeconds: reg.NewHistogram("core_finish_seconds", "", telemetry.LatencyBuckets()),
-		Stages:        reg.NewCounter("core_stages_total", ""),
+		SelectSeconds: reg.NewLabeledHistogram("core_select_seconds", "", telemetry.LatencyBuckets(), "channel").With("ch-0"),
+		FinishSeconds: reg.NewLabeledHistogram("core_finish_seconds", "", telemetry.LatencyBuckets(), "channel").With("ch-0"),
+		Stages:        reg.NewLabeledCounter("core_stages_total", "", "channel").With("ch-0"),
 		ViewSwaps:     reg.NewCounter("core_view_swaps_total", ""),
 	}
 	cfg := defaultConfig(32, 4, 77)

@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"strings"
 	"testing"
 
 	"rths/internal/telemetry"
@@ -79,11 +80,12 @@ func TestRoundAccountingMigration(t *testing.T) {
 	if _, err := rt.StepRound(); err != nil {
 		t.Fatal(err)
 	}
-	// Move helper 3 (channel 3's second helper) to channel 0.
+	// Move helper 3 (channel 3's first pool helper — the pool is [3, 7])
+	// to channel 0.
 	if err := rt.AddHelper(0, 3, cfg.Helpers[3]); err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.RemoveHelper(3, 1, 3); err != nil {
+	if err := rt.RemoveHelper(3, 0, 3); err != nil {
 		t.Fatal(err)
 	}
 	stats, err := rt.StepRound()
@@ -97,5 +99,32 @@ func TestRoundAccountingMigration(t *testing.T) {
 	}
 	if stats.Batches != helpers {
 		t.Fatalf("migration round: Batches = %d, want H = %d", stats.Batches, helpers)
+	}
+}
+
+// A RemoveHelper whose local slot does not hold the named helper must
+// fail the channel, not remove whatever the slot holds: the silent path
+// leaves the named node owned by two managers at once, and the stale
+// owner's reply can be routed to the new owner mid-round — a protocol
+// deadlock rather than a wrong metric.
+func TestRemoveHelperSlotMismatchErrors(t *testing.T) {
+	cfg := fourChannelConfig(6)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := rt.StepRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddHelper(0, 3, cfg.Helpers[3]); err != nil {
+		t.Fatal(err)
+	}
+	// Channel 3's pool is [3, 7]: slot 1 holds helper 7, not helper 3.
+	if err := rt.RemoveHelper(3, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.StepRound(); err == nil || !strings.Contains(err.Error(), "local slot 1 holds helper 7") {
+		t.Fatalf("mismatched removal round returned %v, want a slot-mismatch error", err)
 	}
 }

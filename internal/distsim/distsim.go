@@ -67,6 +67,7 @@ package distsim
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -135,6 +136,19 @@ type Config struct {
 	// order once the round's managers are quiescent, so the merged counts
 	// are deterministic. Nil disables the instrument.
 	BatchSizes *telemetry.Histogram
+	// Spans, when set, enables round-span profiling: each manager stamps
+	// its processing window (monotonic nanoseconds) on its ChannelRound,
+	// and the coordinator records one RoundSpan per channel per round
+	// into the ring and derives critical-path attribution
+	// (RoundStats.Profile). Spans are measurement only — wall-clock
+	// values never reach deterministic outputs.
+	Spans *telemetry.Recorder
+	// SpanClock overrides the monotonic clock used for span timestamps
+	// (nil = telemetry.MonotonicNow) — the seam tests use to feed
+	// synthetic, deterministic span durations. Called from every manager
+	// goroutine, so it must be safe for concurrent use. Setting
+	// SpanClock alone (Spans nil) still enables profiling.
+	SpanClock func() int64
 }
 
 // ChannelRound is one channel's view of a completed round. Slices alias
@@ -193,6 +207,11 @@ type ChannelRound struct {
 	// failure detector consumes.
 	PoolIDs []int
 	Missed  []bool
+	// StartNs and EndNs bound the manager's processing window for the
+	// round (monotonic nanoseconds; 0 when profiling is disabled). Like
+	// WallNs they are measurement, never simulation state.
+	StartNs int64
+	EndNs   int64
 }
 
 // RoundStats is the coordinator's per-round aggregate, one entry per
@@ -209,6 +228,61 @@ type RoundStats struct {
 	// round in nanoseconds. It is a measurement, not simulation state:
 	// it varies run to run and never feeds any deterministic output.
 	WallNs int64
+	// Profile is the round's critical-path attribution, derived from the
+	// per-channel spans (nil when profiling is disabled). Reused across
+	// rounds like the rest of the struct.
+	Profile *RoundProfile
+}
+
+// RoundProfile attributes one round's wall time to its critical path:
+// the synchronous coordinator waits for every channel, so the slowest
+// channel gates the fleet and everyone else's residual is idle time.
+type RoundProfile struct {
+	Round int
+	// Straggler is the channel index with the longest span this round
+	// (ties break to the lowest index).
+	Straggler int
+	// StragglerWallNs and MedianWallNs are the straggler's span and the
+	// median span across channels.
+	StragglerWallNs int64
+	MedianWallNs    int64
+	// LeadRatio is (straggler − median) / straggler in [0,1): how far
+	// ahead of the typical channel the critical path ran.
+	LeadRatio float64
+	// IdleNs is Σ over channels of (straggler span − own span): the
+	// fleet time spent waiting at the barrier this round. TotalNs is
+	// channels × straggler span. IdleNs/TotalNs is the round's barrier
+	// tax.
+	IdleNs  int64
+	TotalNs int64
+}
+
+// profileRound fills p from one round's span durations (wall[i] is
+// channel i's span in nanoseconds). sort is scratch of the same length,
+// overwritten. Pure function of its inputs — unit-testable on synthetic
+// spans.
+func profileRound(p *RoundProfile, round int, wall, scratch []int64) {
+	p.Round = round
+	p.Straggler = 0
+	for i, w := range wall {
+		if w > wall[p.Straggler] {
+			p.Straggler = i
+		}
+	}
+	max := wall[p.Straggler]
+	copy(scratch, wall)
+	slices.Sort(scratch)
+	p.StragglerWallNs = max
+	p.MedianWallNs = scratch[len(scratch)/2]
+	p.LeadRatio = 0
+	if max > 0 {
+		p.LeadRatio = float64(max-p.MedianWallNs) / float64(max)
+	}
+	p.IdleNs, p.TotalNs = 0, 0
+	for _, w := range wall {
+		p.IdleNs += max - w
+		p.TotalNs += max
+	}
 }
 
 type msgKind uint8
@@ -354,6 +428,10 @@ type manager struct {
 	// resets between rounds (nil when the instrument is disabled).
 	sizes *telemetry.Histogram
 
+	// clock stamps the round-span window on m.out when profiling is
+	// enabled (nil otherwise — spans stay zero).
+	clock func() int64
+
 	err error // sticky: a failed manager keeps the protocol alive but inert
 }
 
@@ -369,11 +447,17 @@ func (m *manager) run() {
 		// Full reset: a failed channel reports zeros, not its last good
 		// round (struct assignment only rewrites headers — no allocation).
 		*m.out = ChannelRound{Name: m.name}
+		if m.clock != nil {
+			m.out.StartNs = m.clock()
+		}
 		if m.err == nil {
 			m.applyOps(t.ops)
 		}
 		if m.err == nil {
 			m.stepRound(t.round)
+		}
+		if m.clock != nil {
+			m.out.EndNs = m.clock()
 		}
 		m.reports <- reportMsg{channel: m.id, err: m.err}
 	}
@@ -443,6 +527,20 @@ func (m *manager) applyOps(ops []op) {
 			m.poolIDs = append(m.poolIDs, o.helper)
 			m.missed = append(m.missed, false)
 		case opRemoveHelper:
+			// The global id must corroborate the local index: removing the
+			// wrong pool slot would leave the named node owned by two
+			// managers at once, and the stale owner's round-reply can then
+			// be routed to the new owner — a protocol deadlock, not just a
+			// wrong metric. Fail the channel instead.
+			if o.local < 0 || o.local >= len(m.pool) || m.pool[o.local].id != o.helper {
+				held := -1
+				if o.local >= 0 && o.local < len(m.pool) {
+					held = m.pool[o.local].id
+				}
+				m.err = fmt.Errorf("distsim: channel %q lose helper %d: local slot %d holds helper %d",
+					m.name, o.helper, o.local, held)
+				return
+			}
 			if err := m.sys.RemoveHelper(o.local); err != nil {
 				m.err = fmt.Errorf("distsim: channel %q lose helper %d: %w", m.name, o.helper, err)
 				return
@@ -619,9 +717,20 @@ type Runtime struct {
 	// batchSizes is the merge target for the managers' local size
 	// histograms (Config.BatchSizes; nil when disabled).
 	batchSizes *telemetry.Histogram
-	started    bool
-	closed   bool
-	wg       sync.WaitGroup
+	// spans/profiled drive round-span profiling (Config.Spans/SpanClock).
+	// wallScratch and sortScratch are reusable per-round buffers so the
+	// profile computation allocates nothing in steady state; cumIdleNs
+	// and cumTotalNs accumulate the running barrier tax.
+	spans       *telemetry.Recorder
+	profiled    bool
+	wallScratch []int64
+	sortScratch []int64
+	profile     RoundProfile
+	cumIdleNs   int64
+	cumTotalNs  int64
+	started     bool
+	closed      bool
+	wg          sync.WaitGroup
 }
 
 // New validates the config and builds the deployment. Construction is
@@ -663,6 +772,17 @@ func New(cfg Config) (*Runtime, error) {
 		nodes:      make([]*helperNode, len(cfg.Helpers)),
 		pending:    make([][]op, len(cfg.Channels)),
 		batchSizes: cfg.BatchSizes,
+		spans:      cfg.Spans,
+		profiled:   cfg.Spans != nil || cfg.SpanClock != nil,
+	}
+	spanClock := cfg.SpanClock
+	if rt.profiled && spanClock == nil {
+		spanClock = telemetry.MonotonicNow
+	}
+	if rt.profiled {
+		rt.wallScratch = make([]int64, len(cfg.Channels))
+		rt.sortScratch = make([]int64, len(cfg.Channels))
+		rt.stats.Profile = &rt.profile
 	}
 	rt.stats.Channels = make([]ChannelRound, len(cfg.Channels))
 	for ci, cc := range cfg.Channels {
@@ -718,6 +838,9 @@ func New(cfg Config) (*Runtime, error) {
 			m.queueing = cfg.Faults.Queueing
 		}
 		m.sizes = cfg.BatchSizes.NewLike()
+		if rt.profiled {
+			m.clock = spanClock
+		}
 		if linkMaster != nil {
 			m.linkRng = linkMaster.Split()
 		}
@@ -759,6 +882,19 @@ func (rt *Runtime) NumChannels() int { return len(rt.managers) }
 
 // Round returns the number of completed rounds.
 func (rt *Runtime) Round() int { return rt.round }
+
+// BarrierTax returns the cumulative fraction of fleet time spent idle
+// at the round barrier since the runtime started: Σ idle / Σ total
+// across profiled rounds. Zero when profiling is disabled or no round
+// has run. This is the number the ROADMAP's asynchronous-rounds item
+// needs: it bounds the throughput gain un-barriering the coordinator
+// could buy.
+func (rt *Runtime) BarrierTax() float64 {
+	if rt.cumTotalNs == 0 {
+		return 0
+	}
+	return float64(rt.cumIdleNs) / float64(rt.cumTotalNs)
+}
 
 // AddPeer queues a viewer join on channel ci, applied at the next round
 // before selection. The new peer's local index is the channel's current
@@ -872,6 +1008,23 @@ func (rt *Runtime) StepRound() (*RoundStats, error) {
 			rt.batchSizes.Merge(m.sizes)
 			m.sizes.Reset()
 		}
+	}
+	if rt.profiled {
+		for ci := range rt.stats.Channels {
+			cr := &rt.stats.Channels[ci]
+			rt.wallScratch[ci] = cr.EndNs - cr.StartNs
+			rt.spans.Record(telemetry.RoundSpan{
+				Round:      rt.round,
+				Channel:    ci,
+				StartNs:    cr.StartNs,
+				EndNs:      cr.EndNs,
+				Batches:    cr.Batches,
+				LateServed: cr.LateServed,
+			})
+		}
+		profileRound(&rt.profile, rt.round, rt.wallScratch, rt.sortScratch)
+		rt.cumIdleNs += rt.profile.IdleNs
+		rt.cumTotalNs += rt.profile.TotalNs
 	}
 	rt.stats.WallNs = time.Since(t0).Nanoseconds()
 	rt.stats.Round = rt.round

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The labeled instrument family adds dimensions (channel, helper,
+// backend) to the flat counters/gauges/histograms without touching the
+// hot path's cost model: a labeled family is resolved to a plain child
+// instrument once, at setup time, with With — the returned handle IS a
+// *Counter / *Gauge / *Histogram, so incrementing it is the same single
+// atomic op as the unlabeled kind, still zero allocations.
+//
+// Children are interned: the same label values always resolve to the
+// same child, and the exposition string for each label set (escaped per
+// the Prometheus text format) is rendered once at With time. Rendering
+// walks children in lexicographic label-value order, so the output is
+// deterministic however the call sites iterated while resolving.
+
+// vec is the shared child index of the three labeled families: children
+// keyed by their 0xff-joined label values, kept sorted so duplicate
+// resolution is a binary search and rendering needs no sort.
+type vec struct {
+	name   string
+	labels []string
+
+	mu   sync.Mutex
+	keys []string // 0xff-joined label values, ascending
+	sets []series // parallel to keys
+}
+
+// series is one interned child: its pre-escaped exposition label block
+// ({a="x",b="y"}) plus the child instrument (exactly one non-nil).
+type series struct {
+	rendered string
+	counter  *Counter
+	gauge    *Gauge
+	hist     *Histogram
+}
+
+// resolve returns the child index for the label values, interning a new
+// child (built by fresh) on first use. Duplicate label sets resolve to
+// the same child.
+func (v *vec) resolve(values []string, fresh func() series) *series {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: %s takes %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	at := sort.SearchStrings(v.keys, key)
+	if at < len(v.keys) && v.keys[at] == key {
+		return &v.sets[at]
+	}
+	s := fresh()
+	s.rendered = renderLabels(v.labels, values)
+	v.keys = append(v.keys, "")
+	copy(v.keys[at+1:], v.keys[at:])
+	v.keys[at] = key
+	v.sets = append(v.sets, series{})
+	copy(v.sets[at+1:], v.sets[at:])
+	v.sets[at] = s
+	return &v.sets[at]
+}
+
+// children returns a stable snapshot of the interned children in key
+// order (rendering may run concurrently with late With calls).
+func (v *vec) children() []series {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.sets[:len(v.sets):len(v.sets)]
+}
+
+// renderLabels builds the exposition label block {a="x",b="y"} with the
+// values escaped per the text format (backslash, quote, newline).
+func renderLabels(labels, values []string) string {
+	var b []byte
+	b = append(b, '{')
+	for i, l := range labels {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, l...)
+		b = append(b, '=', '"')
+		b = appendEscapedLabelValue(b, values[i])
+		b = append(b, '"')
+	}
+	return string(append(b, '}'))
+}
+
+func checkLabels(name string, labels []string) {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("telemetry: labeled metric %q needs at least one label (use the unlabeled constructor)", name))
+	}
+}
+
+// LabeledCounter is a counter family keyed by a fixed label set. A nil
+// receiver is the disabled mode: With returns a nil *Counter (no-op).
+type LabeledCounter struct {
+	vec vec
+}
+
+// NewLabeledCounter registers a counter family with the given label
+// names. Returns nil on a nil registry.
+func (r *Registry) NewLabeledCounter(name, help string, labels ...string) *LabeledCounter {
+	if r == nil {
+		return nil
+	}
+	checkLabels(name, labels)
+	c := &LabeledCounter{vec: vec{name: name, labels: labels}}
+	r.add(metric{name: name, help: help, kind: kindLabeledCounter, counterVec: c})
+	return c
+}
+
+// With resolves (interning on first use) the child counter for the
+// label values — a plain *Counter handle to keep and increment on the
+// hot path. Nil-safe; panics on label arity mismatch.
+func (c *LabeledCounter) With(values ...string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.vec.resolve(values, func() series { return series{counter: &Counter{}} }).counter
+}
+
+// LabeledGauge is a gauge family keyed by a fixed label set.
+type LabeledGauge struct {
+	vec vec
+}
+
+// NewLabeledGauge registers a gauge family with the given label names.
+// Returns nil on a nil registry.
+func (r *Registry) NewLabeledGauge(name, help string, labels ...string) *LabeledGauge {
+	if r == nil {
+		return nil
+	}
+	checkLabels(name, labels)
+	g := &LabeledGauge{vec: vec{name: name, labels: labels}}
+	r.add(metric{name: name, help: help, kind: kindLabeledGauge, gaugeVec: g})
+	return g
+}
+
+// With resolves the child gauge for the label values. Nil-safe.
+func (g *LabeledGauge) With(values ...string) *Gauge {
+	if g == nil {
+		return nil
+	}
+	return g.vec.resolve(values, func() series { return series{gauge: &Gauge{}} }).gauge
+}
+
+// LabeledHistogram is a histogram family keyed by a fixed label set;
+// every child shares the family's bucket bounds.
+type LabeledHistogram struct {
+	vec    vec
+	bounds []float64
+}
+
+// NewLabeledHistogram registers a histogram family over the given
+// ascending bucket bounds. Returns nil on a nil registry.
+func (r *Registry) NewLabeledHistogram(name, help string, bounds []float64, labels ...string) *LabeledHistogram {
+	if r == nil {
+		return nil
+	}
+	checkLabels(name, labels)
+	h := &LabeledHistogram{vec: vec{name: name, labels: labels}, bounds: append([]float64(nil), bounds...)}
+	r.add(metric{name: name, help: help, kind: kindLabeledHistogram, histVec: h})
+	return h
+}
+
+// With resolves the child histogram for the label values. Nil-safe.
+func (h *LabeledHistogram) With(values ...string) *Histogram {
+	if h == nil {
+		return nil
+	}
+	return h.vec.resolve(values, func() series { return series{hist: NewHistogram(h.bounds)} }).hist
+}

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabeledHandlesInternAndUpdate(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewLabeledCounter("jobs_total", "Jobs.", "channel", "backend")
+	a := c.With("hot", "distsim")
+	b := c.With("hot", "distsim")
+	if a != b {
+		t.Fatal("duplicate label set resolved to a different handle")
+	}
+	other := c.With("cold", "distsim")
+	if other == a {
+		t.Fatal("distinct label sets share a handle")
+	}
+	a.Add(3)
+	other.Inc()
+	if a.Value() != 3 || other.Value() != 1 {
+		t.Fatalf("values = %d, %d", a.Value(), other.Value())
+	}
+
+	g := reg.NewLabeledGauge("depth", "Depth.", "channel")
+	g.With("x").Set(2.5)
+	if got := g.With("x").Value(); got != 2.5 {
+		t.Fatalf("gauge = %g", got)
+	}
+
+	h := reg.NewLabeledHistogram("lat", "Latency.", []float64{1, 10}, "channel")
+	h.With("x").Observe(5)
+	if h.With("x").Count() != 1 {
+		t.Fatal("histogram child lost the observation")
+	}
+}
+
+func TestLabeledNilAndArity(t *testing.T) {
+	var reg *Registry
+	if reg.NewLabeledCounter("x", "h", "l") != nil {
+		t.Fatal("nil registry returned a labeled counter")
+	}
+	var lc *LabeledCounter
+	if lc.With("a") != nil {
+		t.Fatal("nil labeled counter returned a handle")
+	}
+	lc.With("a").Inc() // no-op chain must not panic
+
+	live := NewRegistry().NewLabeledCounter("x", "h", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	live.With("only-one")
+}
+
+func TestLabeledRequiresALabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero labels accepted")
+		}
+	}()
+	NewRegistry().NewLabeledCounter("x", "h")
+}
+
+// Rendering must be in lexicographic label-value order however the
+// handles were resolved — With-order (which typically follows map
+// iteration at call sites) must not leak into the exposition text.
+func TestLabeledRenderOrderDeterministic(t *testing.T) {
+	renderWith := func(order []string) string {
+		reg := NewRegistry()
+		c := reg.NewLabeledCounter("n", "N.", "channel")
+		for i, v := range order {
+			c.With(v).Add(uint64(i + 1))
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := renderWith([]string{"b", "a", "c"})
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	want := []string{
+		"# HELP n N.",
+		"# TYPE n counter",
+		`n{channel="a"} 2`,
+		`n{channel="b"} 1`,
+		`n{channel="c"} 3`,
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Fatalf("line %d = %q, want %q\nfull:\n%s", i, lines[i], w, a)
+		}
+	}
+}
+
+func TestLabeledHistogramRender(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewLabeledHistogram("lat", "L.", []float64{1, 10}, "ch")
+	h.With("a").Observe(0.5)
+	h.With("a").Observe(100)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{ch="a",le="1"} 1`,
+		`lat_bucket{ch="a",le="10"} 1`,
+		`lat_bucket{ch="a",le="+Inf"} 2`,
+		`lat_sum{ch="a"} 100.5`,
+		`lat_count{ch="a"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyRegistryAndEmptyVecRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty registry rendered %q", buf.String())
+	}
+	reg := NewRegistry()
+	reg.NewLabeledCounter("n", "N.", "channel") // no children resolved
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP n N.\n# TYPE n counter\n"
+	if buf.String() != want {
+		t.Fatalf("childless family rendered %q, want %q", buf.String(), want)
+	}
+}
+
+// Hostile label values and help strings must be escaped per the text
+// exposition format: \ and newline in help; \, " and newline in label
+// values. A channel named by an adversary must not corrupt the scrape.
+func TestPrometheusEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewGauge("g", "line1\nline2 with \\ slash").Set(1)
+	c := reg.NewLabeledCounter("n", "N.", "channel")
+	c.With("evil\"name\\with\nnewline").Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# HELP g line1\\nline2 with \\\\ slash\n") {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `n{channel="evil\"name\\with\nnewline"} 1`+"\n") {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.ContainsRune(line, '\r') {
+			t.Fatalf("raw control character survived in %q", line)
+		}
+	}
+}
+
+// Concurrent With resolution and rendering must be race-free (run under
+// -race in CI) and still deterministic afterwards.
+func TestLabeledConcurrentResolve(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewLabeledCounter("n", "N.", "channel")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.With(fmt.Sprintf("ch-%d", i%10)).Inc()
+			}
+		}()
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil { // concurrent with writers
+		t.Fatal(err)
+	}
+	wg.Wait()
+	total := uint64(0)
+	for i := 0; i < 10; i++ {
+		total += c.With(fmt.Sprintf("ch-%d", i)).Value()
+	}
+	if total != 800 {
+		t.Fatalf("total = %d, want 800", total)
+	}
+}
+
+// A labeled handle IS a plain *Counter: incrementing it must stay
+// allocation-free (the hot-path contract the cost model relies on).
+func TestLabeledHandleZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewLabeledCounter("n", "N.", "channel").With("hot")
+	if n := testing.AllocsPerRun(1000, func() { h.Inc() }); n != 0 {
+		t.Fatalf("labeled handle Inc allocates %.1f/op", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().NewCounter("plain", "P.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkLabeledHandleInc(b *testing.B) {
+	h := NewRegistry().NewLabeledCounter("labeled", "L.", "channel").With("hot")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Inc()
+	}
+}

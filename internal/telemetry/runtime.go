@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsReader caches runtime.ReadMemStats for a short window so a
+// scrape hitting several heap/GC series pays for one stop-the-world
+// read, not five.
+type memStatsReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (m *memStatsReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.at) > 100*time.Millisecond {
+		runtime.ReadMemStats(&m.stat)
+		m.at = now
+	}
+	return m.stat
+}
+
+// RegisterRuntimeMetrics adds standard Go process series (goroutines,
+// heap bytes, GC pause totals) to the registry, so dashboards scraping
+// /metrics don't need a second exporter. Values are computed at scrape
+// time. No-op on a nil registry.
+func (r *Registry) RegisterRuntimeMetrics() {
+	if r == nil {
+		return
+	}
+	ms := &memStatsReader{}
+	r.NewGaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.NewGaugeFunc("go_memstats_heap_alloc_bytes",
+		"Number of heap bytes allocated and still in use.",
+		func() float64 { return float64(ms.read().HeapAlloc) })
+	r.NewGaugeFunc("go_memstats_heap_sys_bytes",
+		"Number of heap bytes obtained from system.",
+		func() float64 { return float64(ms.read().HeapSys) })
+	r.NewGaugeFunc("go_memstats_alloc_bytes_total",
+		"Total number of bytes allocated, even if freed.",
+		func() float64 { return float64(ms.read().TotalAlloc) })
+	r.NewGaugeFunc("go_gc_cycles_total",
+		"Number of completed GC cycles.",
+		func() float64 { return float64(ms.read().NumGC) })
+	r.NewGaugeFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time in seconds.",
+		func() float64 { return float64(ms.read().PauseTotalNs) / 1e9 })
+}

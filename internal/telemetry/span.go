@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// epoch anchors the package's monotonic clock. All MonotonicNow values
+// are nanoseconds since process start, so they fit comfortably in an
+// int64 and subtract without overflow concern.
+var epoch = time.Now()
+
+// MonotonicNow returns nanoseconds since process start on the runtime's
+// monotonic clock. Allocation-free — the time.Time arithmetic stays in
+// registers.
+func MonotonicNow() int64 {
+	return int64(time.Since(epoch))
+}
+
+// RoundSpan is one channel's slice of one coordinator round: when its
+// manager started and finished processing (monotonic nanoseconds), and
+// what the round carried. Spans are measurement, not simulation state —
+// wall-clock values never feed back into the engine or the event trace.
+type RoundSpan struct {
+	Round      int   // coordinator round index
+	Channel    int   // channel index within the runtime
+	StartNs    int64 // manager began applying ops / stepping, MonotonicNow
+	EndNs      int64 // manager finished the round, MonotonicNow
+	Batches    int   // attach batches sent to helpers this round
+	LateServed int   // queued late attaches served this round
+}
+
+// WallNs returns the span's duration in nanoseconds.
+func (s RoundSpan) WallNs() int64 { return s.EndNs - s.StartNs }
+
+// Recorder is a fixed-capacity ring of RoundSpans: the newest Cap spans
+// win, older ones are overwritten. Memory is bounded at capacity — a
+// 1k-channel fleet keeping 8 rounds of spans holds 8192 spans ≈ 384 KiB
+// and never grows. Safe for concurrent Record/Snapshot; a nil *Recorder
+// disables recording (Record no-ops).
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []RoundSpan
+	next  int
+	total uint64
+}
+
+// NewRecorder builds a recorder holding at most capacity spans.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		panic("telemetry: recorder capacity must be positive")
+	}
+	return &Recorder{ring: make([]RoundSpan, 0, capacity)}
+}
+
+// Record appends one span, evicting the oldest if the ring is full.
+// No-op on a nil receiver.
+func (r *Recorder) Record(s RoundSpan) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, s)
+	} else {
+		r.ring[r.next] = s
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first. Nil-safe.
+func (r *Recorder) Snapshot() []RoundSpan {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RoundSpan, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Total returns how many spans were ever recorded, including evicted
+// ones (0 on nil).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return cap(r.ring)
+}

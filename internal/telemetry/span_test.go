@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderRingEvictsOldest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(RoundSpan{Round: i, StartNs: int64(i), EndNs: int64(i + 10)})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	for i, s := range got {
+		if s.Round != i+2 {
+			t.Fatalf("snapshot[%d].Round = %d, want %d (oldest first)", i, s.Round, i+2)
+		}
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d, want 6", r.Total())
+	}
+	if got[0].WallNs() != 10 {
+		t.Fatalf("WallNs = %d, want 10", got[0].WallNs())
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(RoundSpan{})
+	if r.Snapshot() != nil || r.Total() != 0 || r.Cap() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestMonotonicNowAdvances(t *testing.T) {
+	a := MonotonicNow()
+	b := MonotonicNow()
+	if a < 0 || b < a {
+		t.Fatalf("clock went backwards: %d then %d", a, b)
+	}
+}
+
+func TestSystemInstrumentsClockSeam(t *testing.T) {
+	var si *SystemInstruments
+	if si.Now() != 0 {
+		t.Fatal("nil instruments read the clock")
+	}
+	tick := int64(100)
+	si = &SystemInstruments{Clock: func() int64 { tick += 50; return tick }}
+	if si.Now() != 150 || si.Now() != 200 {
+		t.Fatal("Clock override not used")
+	}
+	si.Clock = nil
+	if si.Now() < 0 {
+		t.Fatal("default clock negative")
+	}
+}
+
+func TestRuntimeMetricsRender(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterRuntimeMetrics()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"go_goroutines", "go_memstats_heap_alloc_bytes", "go_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" gauge\n"+name+" ") {
+			t.Fatalf("missing runtime series %q in:\n%s", name, out)
+		}
+	}
+	// goroutines must be live (at least this test's goroutine).
+	if strings.Contains(out, "go_goroutines 0\n") {
+		t.Fatal("go_goroutines rendered 0")
+	}
+}

@@ -217,15 +217,23 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindGaugeFunc
+	kindLabeledCounter
+	kindLabeledGauge
+	kindLabeledHistogram
 )
 
 type metric struct {
-	name    string
-	help    string
-	kind    metricKind
-	counter *Counter
-	gauge   *Gauge
-	hist    *Histogram
+	name       string
+	help       string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	gaugeFn    func() float64
+	counterVec *LabeledCounter
+	gaugeVec   *LabeledGauge
+	histVec    *LabeledHistogram
 }
 
 // Registry is an ordered collection of named instruments. A nil
@@ -286,8 +294,20 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 	return h
 }
 
+// NewGaugeFunc registers a gauge whose value is computed by fn at
+// scrape time — for runtime stats (goroutines, heap) that would be
+// stale as stored gauges. No-op on a nil registry.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.add(metric{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
 // WritePrometheus renders every registered metric in Prometheus text
-// exposition format (version 0.0.4), in registration order.
+// exposition format (version 0.0.4), in registration order. Labeled
+// families render their children in lexicographic label-value order, so
+// output is deterministic regardless of handle-resolution order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -301,7 +321,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		buf = append(buf, "# HELP "...)
 		buf = append(buf, m.name...)
 		buf = append(buf, ' ')
-		buf = append(buf, m.help...)
+		buf = appendEscapedHelp(buf, m.help)
 		buf = append(buf, "\n# TYPE "...)
 		buf = append(buf, m.name...)
 		switch m.kind {
@@ -317,37 +337,116 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			buf = append(buf, ' ')
 			buf = appendFloat(buf, m.gauge.Value())
 			buf = append(buf, '\n')
+		case kindGaugeFunc:
+			buf = append(buf, " gauge\n"...)
+			buf = append(buf, m.name...)
+			buf = append(buf, ' ')
+			buf = appendFloat(buf, m.gaugeFn())
+			buf = append(buf, '\n')
 		case kindHistogram:
 			buf = append(buf, " histogram\n"...)
-			h := m.hist
-			var cum uint64
-			for i := range h.counts {
-				cum += h.counts[i].Load()
+			buf = appendHistogram(buf, m.name, "", m.hist)
+		case kindLabeledCounter:
+			buf = append(buf, " counter\n"...)
+			for _, s := range m.counterVec.vec.children() {
 				buf = append(buf, m.name...)
-				buf = append(buf, `_bucket{le="`...)
-				if i < len(h.bounds) {
-					buf = appendFloat(buf, h.bounds[i])
-				} else {
-					buf = append(buf, "+Inf"...)
-				}
-				buf = append(buf, `"} `...)
-				buf = strconv.AppendUint(buf, cum, 10)
+				buf = append(buf, s.rendered...)
+				buf = append(buf, ' ')
+				buf = strconv.AppendUint(buf, s.counter.Value(), 10)
 				buf = append(buf, '\n')
 			}
-			buf = append(buf, m.name...)
-			buf = append(buf, "_sum "...)
-			buf = appendFloat(buf, h.Sum())
-			buf = append(buf, '\n')
-			buf = append(buf, m.name...)
-			buf = append(buf, "_count "...)
-			buf = strconv.AppendUint(buf, h.Count(), 10)
-			buf = append(buf, '\n')
+		case kindLabeledGauge:
+			buf = append(buf, " gauge\n"...)
+			for _, s := range m.gaugeVec.vec.children() {
+				buf = append(buf, m.name...)
+				buf = append(buf, s.rendered...)
+				buf = append(buf, ' ')
+				buf = appendFloat(buf, s.gauge.Value())
+				buf = append(buf, '\n')
+			}
+		case kindLabeledHistogram:
+			buf = append(buf, " histogram\n"...)
+			for _, s := range m.histVec.vec.children() {
+				buf = appendHistogram(buf, m.name, s.rendered, s.hist)
+			}
 		}
 		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// appendHistogram renders one histogram's bucket/sum/count lines.
+// labels is the pre-rendered {…} block of a labeled child ("" for the
+// plain kind); the le label is spliced in before its closing brace.
+func appendHistogram(buf []byte, name, labels string, h *Histogram) []byte {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		buf = append(buf, name...)
+		buf = append(buf, "_bucket"...)
+		if labels == "" {
+			buf = append(buf, `{le="`...)
+		} else {
+			buf = append(buf, labels[:len(labels)-1]...) // strip '}'
+			buf = append(buf, `,le="`...)
+		}
+		if i < len(h.bounds) {
+			buf = appendFloat(buf, h.bounds[i])
+		} else {
+			buf = append(buf, "+Inf"...)
+		}
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendUint(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, name...)
+	buf = append(buf, "_sum"...)
+	buf = append(buf, labels...)
+	buf = append(buf, ' ')
+	buf = appendFloat(buf, h.Sum())
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_count"...)
+	buf = append(buf, labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, h.Count(), 10)
+	return append(buf, '\n')
+}
+
+// appendEscapedHelp escapes a HELP string per the text exposition
+// format: backslash and newline only.
+func appendEscapedHelp(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return buf
+}
+
+// appendEscapedLabelValue escapes a label value per the text exposition
+// format: backslash, double quote, and newline.
+func appendEscapedLabelValue(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return buf
 }
 
 func appendFloat(buf []byte, v float64) []byte {
@@ -379,4 +478,21 @@ type SystemInstruments struct {
 	// ViewSwaps counts partial-view refresh swaps (exploration swaps of
 	// an in-view helper for an unseen one).
 	ViewSwaps *Counter
+	// Clock, when set, replaces the process-monotonic clock for phase
+	// timing — the seam tests use to make duration observations
+	// deterministic. Must be monotonic non-decreasing, in nanoseconds.
+	Clock func() int64
+}
+
+// Now reads the instrument clock: Clock if set, otherwise the shared
+// process-monotonic nanosecond clock. Returns 0 on a nil receiver so
+// disabled instruments never touch the clock at all.
+func (si *SystemInstruments) Now() int64 {
+	if si == nil {
+		return 0
+	}
+	if si.Clock != nil {
+		return si.Clock()
+	}
+	return MonotonicNow()
 }

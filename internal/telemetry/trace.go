@@ -43,6 +43,9 @@ const (
 	KindJoin        = "join"         // viewer join
 	KindLeave       = "leave"        // viewer leave
 	KindSwitch      = "switch"       // viewer channel switch; Channel = from, To = to
+	KindRecover     = "recover"      // evicted helper answered again; Value = stages from down to recovery
+	KindSeries      = "series"       // periodic per-entity sample; Detail names the series, Value carries it
+	KindTruncated   = "truncated"    // terminal record: byte cap hit; Value = events emitted before the cap
 )
 
 // Ev returns an Event with the always-present fields set and every
@@ -64,9 +67,12 @@ func (e Event) WithValue(v float64) Event {
 // method no-ops. Emission reuses an internal buffer, so steady-state
 // tracing does not allocate.
 type Tracer struct {
-	w   *bufio.Writer
-	buf []byte
-	n   int
+	w         *bufio.Writer
+	buf       []byte
+	n         int
+	limit     int64 // max bytes to write; 0 = unbounded
+	written   int64
+	truncated bool
 }
 
 // NewTracer builds a tracer writing JSONL to w. Call Flush before the
@@ -75,9 +81,30 @@ func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: bufio.NewWriter(w)}
 }
 
+// LimitBytes caps the trace file size: once the next event would push
+// the total past n bytes, the tracer writes one terminal "truncated"
+// record (kept within a small tolerance of the cap) and drops every
+// subsequent event, so a long run degrades to a bounded, well-formed
+// JSONL file instead of unbounded growth. n <= 0 removes the cap.
+// No-op on a nil receiver.
+func (t *Tracer) LimitBytes(n int64) {
+	if t == nil {
+		return
+	}
+	t.limit = n
+}
+
+// Truncated reports whether the byte cap was hit (false on nil).
+func (t *Tracer) Truncated() bool {
+	if t == nil {
+		return false
+	}
+	return t.truncated
+}
+
 // Emit writes one event as a single JSON line. No-op on a nil receiver.
 func (t *Tracer) Emit(e Event) {
-	if t == nil {
+	if t == nil || t.truncated {
 		return
 	}
 	b := t.buf[:0]
@@ -113,7 +140,33 @@ func (t *Tracer) Emit(e Event) {
 	}
 	b = append(b, '}', '\n')
 	t.buf = b
+	if t.limit > 0 && t.written+int64(len(b)) > t.limit {
+		t.truncate(e)
+		return
+	}
 	t.n++
+	t.written += int64(len(b))
+	t.w.Write(b)
+}
+
+// truncate emits the terminal record in place of the event that would
+// have crossed the cap, carrying that event's stage/epoch and the count
+// of events successfully emitted, then seals the tracer.
+func (t *Tracer) truncate(dropped Event) {
+	t.truncated = true
+	b := t.buf[:0]
+	b = append(b, `{"stage":`...)
+	b = strconv.AppendInt(b, int64(dropped.Stage), 10)
+	b = append(b, `,"epoch":`...)
+	b = strconv.AppendInt(b, int64(dropped.Epoch), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, KindTruncated...)
+	b = append(b, `","value":`...)
+	b = strconv.AppendInt(b, int64(t.n), 10)
+	b = append(b, '}', '\n')
+	t.buf = b
+	t.n++
+	t.written += int64(len(b))
 	t.w.Write(b)
 }
 

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerByteCapEmitsTerminalRecord(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.LimitBytes(200)
+	for i := 0; i < 100; i++ {
+		tr.Emit(Ev(i, 0, KindEpoch).WithValue(0.5))
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Truncated() {
+		t.Fatal("cap not reported as hit")
+	}
+	out := buf.String()
+	if int64(len(out)) > 200+100 {
+		t.Fatalf("wrote %d bytes, cap 200 (+terminal record tolerance)", len(out))
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	var rec struct {
+		Stage int     `json:"stage"`
+		Kind  string  `json:"kind"`
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(last), &rec); err != nil {
+		t.Fatalf("terminal line %q: %v", last, err)
+	}
+	if rec.Kind != KindTruncated {
+		t.Fatalf("last record kind = %q, want %q", rec.Kind, KindTruncated)
+	}
+	// Value counts the events emitted before the cap — every retained
+	// line except the terminal one.
+	if int(rec.Value) != len(lines)-1 {
+		t.Fatalf("terminal value = %g, want %d emitted events", rec.Value, len(lines)-1)
+	}
+	// Stage carries the dropped event's stage: the first one past the cap.
+	if rec.Stage != len(lines)-1 {
+		t.Fatalf("terminal stage = %d, want %d", rec.Stage, len(lines)-1)
+	}
+	// Every line (terminal included) is well-formed JSON.
+	for _, line := range lines {
+		var any map[string]any
+		if err := json.Unmarshal([]byte(line), &any); err != nil {
+			t.Fatalf("malformed line %q: %v", line, err)
+		}
+	}
+	// Emits after the cap are dropped without growing the file.
+	n := buf.Len()
+	tr.Emit(Ev(999, 9, KindEpoch))
+	tr.Flush()
+	if buf.Len() != n {
+		t.Fatal("emit after truncation wrote bytes")
+	}
+	if tr.Events() != len(lines) {
+		t.Fatalf("Events() = %d, want %d", tr.Events(), len(lines))
+	}
+}
+
+func TestTracerCapUnsetIsUnbounded(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	for i := 0; i < 1000; i++ {
+		tr.Emit(Ev(i, 0, KindEpoch))
+	}
+	tr.Flush()
+	if tr.Truncated() {
+		t.Fatal("uncapped tracer reported truncation")
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1000 {
+		t.Fatalf("wrote %d lines, want 1000", got)
+	}
+	if tr.Events() != 1000 {
+		t.Fatalf("Events() = %d", tr.Events())
+	}
+}
