@@ -1,0 +1,73 @@
+// Command rths-vet is the repo's contract checker: a multichecker
+// bundling the determinism, seedsplit, hotpath, and telemetrylint
+// analyzers (see internal/analysis and PERF.md "Static guarantees").
+//
+// Two invocation modes:
+//
+//	go vet -vettool=$(command -v rths-vet) ./...   # the CI gate
+//	rths-vet ./...                                 # standalone, for dev loops
+//
+// The vettool mode speaks the `go vet` separate-compilation protocol
+// (-V=full, -flags, unit.cfg); the standalone mode loads packages
+// itself through `go list -export` and the build cache. Both exit
+// non-zero when any diagnostic fires: the suite is a gate, not a
+// report.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rths/internal/analysis"
+	"rths/internal/analysis/driver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	progname := filepath.Base(os.Args[0])
+
+	// `go vet` protocol endpoints first: version/flag queries, then a
+	// single *.cfg compilation unit.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			driver.PrintVersion(stdout, progname)
+			return 0
+		case a == "-flags" || a == "--flags":
+			driver.PrintFlags(stdout)
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		driver.Vettool(args[0], analysis.All()) // exits itself
+		return 0
+	}
+
+	// Standalone: rths-vet [packages], defaulting to ./...
+	patterns := args
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(stderr, "usage: %s [packages]\n(or via go vet -vettool; rths-vet takes no flags)\n", progname)
+			return 2
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := driver.Standalone("", patterns, analysis.All(), stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+		return 2
+	}
+	if n > 0 {
+		fmt.Fprintf(stderr, "%s: %d contract violation(s)\n", progname, n)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestVersionProtocol checks -V=full against the exact parse the go
+// command applies to a vettool's version line (cmd/go's buildid
+// check): at least three fields, f[1] == "version", and a devel
+// version must end in a buildID= field.
+func TestVersionProtocol(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-V=full exit %d, stderr %q", code, errBuf.String())
+	}
+	f := strings.Fields(strings.TrimSpace(out.String()))
+	if len(f) < 3 || f[1] != "version" {
+		t.Fatalf("unparseable version line %q", out.String())
+	}
+	if f[2] == "devel" && !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("devel version line missing buildID=: %q", out.String())
+	}
+}
+
+// TestFlagsProtocol checks -flags prints a JSON flag array.
+func TestFlagsProtocol(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-flags"}, &out, &errBuf); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	var flags []any
+	if err := json.Unmarshal(out.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output %q is not a JSON array: %v", out.String(), err)
+	}
+	if len(flags) != 0 {
+		t.Fatalf("rths-vet declares no flags, got %v", flags)
+	}
+}
+
+// TestStandaloneClean runs the standalone mode over a package the
+// suite must accept.
+func TestStandaloneClean(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"../../internal/xrand/"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d on clean package:\n%s", code, errBuf.String())
+	}
+}
+
+// TestRejectsFlags checks the standalone mode refuses flag-shaped
+// arguments instead of misreading them as package patterns.
+func TestRejectsFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errBuf); code != 2 {
+		t.Fatalf("flag-shaped arg: exit %d, want 2", code)
+	}
+}

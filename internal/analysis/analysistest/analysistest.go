@@ -1,0 +1,230 @@
+// Package analysistest runs one analyzer over fixture packages under
+// testdata/src/<pkg>/ and checks its diagnostics against // want
+// comments, mirroring the golang.org/x/tools analysistest convention
+// on the standard library alone.
+//
+// Expectation syntax, inside any fixture source line:
+//
+//	code() // want "regexp" `another regexp`
+//
+// Each literal is a Go string (quoted or backquoted) holding a regexp
+// that must match the message of exactly one diagnostic reported on
+// that line. A comment may target a neighboring line with an offset —
+// needed when the diagnosed line is itself consumed by a comment (an
+// annotation marker leaves no room for a trailing want):
+//
+//	//rths:nondeterminism-ok
+//	// want@-1 "needs a reason"
+//
+// Diagnostics with no matching expectation, and expectations with no
+// matching diagnostic, both fail the test.
+package analysistest
+
+import (
+	"bufio"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rths/internal/analysis"
+	"rths/internal/analysis/driver"
+)
+
+// expectation is one want entry: a compiled regexp anchored to a
+// file:line, consumed by the first diagnostic that matches it.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+// Run applies the analyzer to each fixture package testdata/src/<pkg>
+// (relative to the calling test's working directory) and reports any
+// mismatch between diagnostics and want expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		runOne(t, a, filepath.Join(wd, "testdata", "src", pkg), pkg)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, dir, pkg string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("%s: no fixture files in %s", pkg, dir)
+	}
+
+	var expects []*expectation
+	deps := make(map[string]bool)
+	for _, f := range files {
+		es, err := parseWants(f)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		expects = append(expects, es...)
+		for _, imp := range fileImports(t, f) {
+			deps[imp] = true
+		}
+	}
+	var depPatterns []string
+	for d := range deps {
+		depPatterns = append(depPatterns, d)
+	}
+	sort.Strings(depPatterns)
+
+	diags, err := driver.AnalyzeFiles(dir, pkg, files, depPatterns, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", pkg, err)
+	}
+
+	for _, d := range diags {
+		if !claim(expects, filepath.Base(d.Posn.Filename), d.Posn.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+				pkg, filepath.Base(d.Posn.Filename), d.Posn.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.used {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", pkg, e.file, e.line, e.raw)
+		}
+	}
+}
+
+// claim consumes the first unused expectation at file:line whose
+// regexp matches the message.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.used && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// fileImports returns the file's import paths (for export-data
+// resolution of the fixture's dependencies).
+func fileImports(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseWants extracts want expectations from one fixture file by
+// scanning for "// want" comments line by line.
+func parseWants(path string) ([]*expectation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	var out []*expectation
+	sc := bufio.NewScanner(f)
+	for lineno := 1; sc.Scan(); lineno++ {
+		text := sc.Text()
+		i := strings.Index(text, "// want")
+		if i < 0 {
+			continue
+		}
+		rest := text[i+len("// want"):]
+		line := lineno
+		if strings.HasPrefix(rest, "@") {
+			j := 1
+			for j < len(rest) && rest[j] != ' ' && rest[j] != '\t' {
+				j++
+			}
+			off, err := strconv.Atoi(rest[1:j])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want offset %q", base, lineno, rest[1:j])
+			}
+			line += off
+			rest = rest[j:]
+		}
+		lits, err := stringLits(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", base, lineno, err)
+		}
+		if len(lits) == 0 {
+			return nil, fmt.Errorf("%s:%d: want comment with no pattern", base, lineno)
+		}
+		for _, raw := range lits {
+			re, err := regexp.Compile(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", base, lineno, raw, err)
+			}
+			out = append(out, &expectation{file: base, line: line, re: re, raw: raw})
+		}
+	}
+	return out, sc.Err()
+}
+
+// stringLits parses a sequence of Go string literals (quoted or
+// backquoted) separated by spaces.
+func stringLits(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted pattern")
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end == len(s) {
+				return nil, fmt.Errorf("unterminated quoted pattern")
+			}
+			lit, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lit)
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("pattern must be a quoted or backquoted string, got %q", s)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rths/internal/analysis"
+	"rths/internal/analysis/analysistest"
+)
+
+// TestDeterminism covers the deterministic-package rules (wall clocks,
+// math/rand, order-sensitive map ranges), the statement-scoped
+// //rths:nondeterminism-ok waiver, and — via notdet — that the rules
+// bind only inside the deterministic set.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "core", "notdet")
+}
+
+// TestSeedSplit covers arithmetic seed derivation in every operator
+// shape, the statement-scoped waiver, and the xrand exemption.
+func TestSeedSplit(t *testing.T) {
+	analysistest.Run(t, analysis.SeedSplit, "seedsplit", "xrand")
+}
+
+// TestHotPath covers the allocation constructs rejected inside
+// //rths:hotpath-marked functions and that unmarked twins pass.
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysis.HotPath, "hotpath")
+}
+
+// TestTelemetryLint covers metric naming, help-string hygiene, label
+// declarations, and With() arity against the family declaration.
+func TestTelemetryLint(t *testing.T) {
+	analysistest.Run(t, analysis.TelemetryLint, "telemetrylint")
+}

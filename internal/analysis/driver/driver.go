@@ -1,0 +1,131 @@
+// Package driver loads and typechecks Go packages for the rths-vet
+// analyzers using only the standard library and the go command. It
+// supports two modes: Standalone resolves packages itself via
+// `go list -export` (export data from the build cache, no network,
+// no non-std dependencies), and Vettool speaks the `go vet -vettool`
+// separate-compilation protocol, typechecking from the importer
+// config the go command hands it.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+
+	"rths/internal/analysis"
+)
+
+// A Diag is one rendered diagnostic with its resolved position.
+type Diag struct {
+	Posn     token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Posn, d.Analyzer, d.Message)
+}
+
+// runAnalyzers applies every analyzer to one typechecked package and
+// returns the diagnostics sorted by position.
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	var out []Diag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, Diag{Posn: fset.Position(d.Pos), Analyzer: d.Analyzer, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Posn, out[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// newFset returns the file set shared by one load.
+func newFset() *token.FileSet { return token.NewFileSet() }
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// exportDataImporter builds a types.Importer that reads gc export data
+// files: importMap resolves import paths to package paths (identity
+// when absent), packageFile locates each package path's export data.
+func exportDataImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := importMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// typecheck parses and checks one package from source.
+func typecheck(fset *token.FileSet, pkgPath, goVersion string, goFiles []string, imp types.Importer) ([]*ast.File, *types.Package, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: goVersion,
+	}
+	info := newInfo()
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}

@@ -1,0 +1,136 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+
+	"rths/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// Standalone loads the packages matched by patterns (relative to dir,
+// "" = current directory), typechecks them against build-cache export
+// data, runs the analyzers, and writes diagnostics to out. It returns
+// the number of diagnostics. Dependencies are never analyzed, only
+// imported.
+func Standalone(dir string, patterns []string, analyzers []*analysis.Analyzer, out io.Writer) (int, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+
+	// Export data for every package in the closure, target or dep.
+	exports := make(map[string]string)
+	importMap := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+	}
+
+	fset := newFset()
+	imp := exportDataImporter(fset, importMap, exports)
+	total := 0
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return total, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = p.Dir + "/" + f
+		}
+		astFiles, pkg, info, err := typecheck(fset, p.ImportPath, goVersion, files, imp)
+		if err != nil {
+			return total, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		diags, err := runAnalyzers(fset, astFiles, pkg, info, analyzers)
+		if err != nil {
+			return total, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}
+
+// AnalyzeFiles typechecks one package assembled from goFiles (import
+// path pkgPath), resolving imports through build-cache export data for
+// depPatterns (the go command runs in dir), and runs the analyzers.
+// It exists for the analysistest harness; the production entry points
+// are Standalone and Vettool.
+func AnalyzeFiles(dir, pkgPath string, goFiles, depPatterns []string, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	exports := make(map[string]string)
+	importMap := make(map[string]string)
+	if len(depPatterns) > 0 {
+		pkgs, err := goList(dir, depPatterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+			for from, to := range p.ImportMap {
+				importMap[from] = to
+			}
+		}
+	}
+	fset := newFset()
+	imp := exportDataImporter(fset, importMap, exports)
+	files, pkg, info, err := typecheck(fset, pkgPath, "", goFiles, imp)
+	if err != nil {
+		return nil, err
+	}
+	return runAnalyzers(fset, files, pkg, info, analyzers)
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

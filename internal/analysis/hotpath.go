@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathMarker marks a function as allocation-free by contract:
+// //rths:hotpath in the function's doc comment. The marked body (not
+// its callees — cold-path growth belongs in unmarked helpers) must
+// contain no allocation construct.
+const HotPathMarker = "hotpath"
+
+// HotPath statically rejects allocation constructs inside functions
+// marked //rths:hotpath: make/new, escaping composite literals (&T{},
+// slice and map literals), append to non-receiver slices, string
+// concatenation, fmt calls, and interface boxing of concrete values.
+// The marked set is the per-stage path PERF.md's zero-alloc cost model
+// covers (core stage phases, Learner.Update/Select, distsim round
+// bodies, the telemetry instrument Inc/Add/Set/Observe handles); the
+// AllocsPerRun tests pin the same property at runtime, this analyzer
+// pins it at vet time.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbid allocation constructs (make/new, escaping composite literals, " +
+		"append to non-receiver slices, string concatenation, fmt calls, " +
+		"interface boxing) in functions marked //rths:hotpath",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotPathMarker(fd) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func hasHotPathMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if m, ok := ParseMarker(c); ok && m.Key == HotPathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	var recv types.Object
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = pass.TypesInfo.ObjectOf(fd.Recv.List[0].Names[0])
+	}
+	name := fd.Name.Name
+	seen := make(map[ast.Node]bool) // composite literals already reported via &T{...}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n, name, recv)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					seen[cl] = true
+					pass.Reportf(n.Pos(), "%s is a hot path: &%s{…} escapes to the heap each call", name, typeLabel(pass, cl))
+				}
+			}
+		case *ast.CompositeLit:
+			if seen[n] {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s is a hot path: %s literal allocates each call", name, typeLabel(pass, n))
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.TypesInfo.TypeOf(n); t != nil && isString(t) {
+					pass.Reportf(n.OpPos, "%s is a hot path: string concatenation allocates; render into a reused buffer", name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN {
+				for _, l := range n.Lhs {
+					if t := pass.TypesInfo.TypeOf(l); t != nil && isString(t) {
+						pass.Reportf(n.TokPos, "%s is a hot path: string concatenation allocates; render into a reused buffer", name)
+					}
+				}
+			}
+			if n.Tok == token.ASSIGN {
+				for i := range n.Lhs {
+					if i < len(n.Rhs) {
+						checkBoxing(pass, name, pass.TypesInfo.TypeOf(n.Lhs[i]), n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			sig, ok := pass.TypesInfo.TypeOf(fd.Name).(*types.Signature)
+			if ok && sig.Results().Len() == len(n.Results) {
+				for i, r := range n.Results {
+					checkBoxing(pass, name, sig.Results().At(i).Type(), r)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, name string, recv types.Object) {
+	// Builtins first: make/new allocate, append is conditionally fine.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s is a hot path: %s allocates each call; reuse a buffer sized outside the hot path", name, b.Name())
+			case "append":
+				if len(call.Args) > 0 && rootObj(pass, call.Args[0]) != recv {
+					pass.Reportf(call.Pos(), "%s is a hot path: append to a non-receiver slice can grow and allocate; append only to receiver-owned reused buffers", name)
+				}
+			}
+			return
+		}
+	}
+	// fmt.* in a hot path both allocates and boxes.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "%s is a hot path: fmt.%s allocates; precompute or append to a reused byte buffer", name, sel.Sel.Name)
+				return
+			}
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(v) boxes when T is an interface and v concrete.
+		if len(call.Args) == 1 {
+			checkBoxing(pass, name, tv.Type, call.Args[0])
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, name, pt, arg)
+	}
+}
+
+// checkBoxing reports when a concrete, non-pointer-shaped value is
+// converted to an interface: the conversion heap-allocates the boxed
+// copy on every call.
+func checkBoxing(pass *Pass, name string, dst types.Type, src ast.Expr) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	st := pass.TypesInfo.TypeOf(src)
+	if st == nil || boxFree(st) {
+		return
+	}
+	pass.Reportf(src.Pos(), "%s is a hot path: %s boxed into %s allocates each call", name, st, dst)
+}
+
+// boxFree reports whether converting a value of type t to an interface
+// avoids allocation: interfaces stay interfaces, nil is nil, and
+// pointer-shaped kinds (pointers, channels, maps, funcs, unsafe
+// pointers) fit the interface word directly.
+func boxFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UntypedNil || u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// rootObj walks to the base identifier of an lvalue chain
+// (m.batch[j] → m) and resolves it.
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// typeLabel renders a short label for a composite literal's type.
+func typeLabel(pass *Pass, cl *ast.CompositeLit) string {
+	if t := pass.TypesInfo.TypeOf(cl); t != nil {
+		s := t.String()
+		if i := strings.LastIndexByte(s, '/'); i >= 0 && !strings.ContainsAny(s, "[{(") {
+			s = s[i+1:]
+		}
+		return s
+	}
+	return "composite"
+}

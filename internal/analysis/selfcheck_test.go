@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rths/internal/analysis"
+	"rths/internal/analysis/driver"
+)
+
+// TestSuiteCleanOnRepo runs the full rths-vet suite over the module —
+// the same gate CI enforces. The repo must stay clean: every true
+// positive fixed, every deliberate seam annotated.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	var buf bytes.Buffer
+	n, err := driver.Standalone("../..", []string{"./..."}, analysis.All(), &buf)
+	if err != nil {
+		t.Fatalf("standalone load: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("rths-vet reports %d violation(s) on the repo:\n%s", n, buf.String())
+	}
+}

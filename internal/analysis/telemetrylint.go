@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// TelemetryLint checks metric declarations against the Prometheus
+// conventions the /metrics renderer assumes: family names are
+// lowercase snake_case with the rths_ prefix (go_ is reserved for the
+// runtime series registered inside the telemetry package itself),
+// counters end in _total, help strings carry no raw newlines or
+// backslashes (the renderer escapes them, but a declaration that needs
+// escaping is a smell), labeled families declare at least one label,
+// and every With() call passes exactly as many values as its family
+// declared labels — the arity mismatch the runtime only catches by
+// panicking on first resolve.
+var TelemetryLint = &Analyzer{
+	Name: "telemetrylint",
+	Doc: "enforce rths_ Prometheus naming, clean help strings, and " +
+		"With() arity matching the labeled family's declaration",
+	Run: runTelemetryLint,
+}
+
+// metricConstructors maps Registry constructor names to the index of
+// the first label argument, or -1 for unlabeled instruments.
+var metricConstructors = map[string]int{
+	"NewCounter":          -1,
+	"NewGauge":            -1,
+	"NewHistogram":        -1,
+	"NewGaugeFunc":        -1,
+	"NewLabeledCounter":   2, // (name, help, labels...)
+	"NewLabeledGauge":     2, // (name, help, labels...)
+	"NewLabeledHistogram": 3, // (name, help, bounds, labels...)
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-z_][a-zA-Z0-9_]*$`)
+)
+
+func runTelemetryLint(pass *Pass) error {
+	inTelemetry := PkgPathBase(pass.Pkg.Path()) == "telemetry"
+	// families maps a local variable holding a NewLabeled* result to
+	// the label arity its declaration fixed.
+	families := make(map[types.Object]int)
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConstructor(pass, n, inTelemetry)
+			case *ast.AssignStmt:
+				for i, r := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if arity, ok := labeledArity(pass, r); ok {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+								families[obj] = arity
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i >= len(n.Names) {
+						break
+					}
+					if arity, ok := labeledArity(pass, v); ok {
+						if obj := pass.TypesInfo.ObjectOf(n.Names[i]); obj != nil {
+							families[obj] = arity
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Second pass: With() arity against the recorded declarations.
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "With" {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			arity, tracked := families[obj]
+			if !tracked {
+				return true
+			}
+			if len(call.Args) != arity && !call.Ellipsis.IsValid() {
+				pass.Reportf(call.Pos(), "%s.With() passes %d label values but the family declared %d labels: the runtime panics on first resolve", id.Name, len(call.Args), arity)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// labeledArity returns the declared label count when expr is a
+// NewLabeled* Registry constructor call.
+func labeledArity(pass *Pass, expr ast.Expr) (int, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return 0, false
+	}
+	_, firstLabel, ok := registryConstructor(pass, call)
+	if !ok || firstLabel < 0 {
+		return 0, false
+	}
+	return len(call.Args) - firstLabel, true
+}
+
+// registryConstructor matches a call to one of the telemetry Registry
+// metric constructors, identified by method name plus a receiver type
+// named Registry so arbitrary same-named functions don't trip the
+// lint.
+func registryConstructor(pass *Pass, call *ast.CallExpr) (name string, firstLabel int, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	firstLabel, isCtor := metricConstructors[sel.Sel.Name]
+	if !isCtor {
+		return "", 0, false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", 0, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", 0, false
+	}
+	rt := sig.Recv().Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return "", 0, false
+	}
+	return sel.Sel.Name, firstLabel, true
+}
+
+// checkConstructor lints the name/help/label literals of one metric
+// constructor call.
+func checkConstructor(pass *Pass, call *ast.CallExpr, inTelemetry bool) {
+	ctor, firstLabel, ok := registryConstructor(pass, call)
+	if !ok || len(call.Args) < 2 {
+		return
+	}
+	if name, lit := stringLit(call.Args[0]); lit {
+		checkMetricName(pass, call.Args[0], ctor, name, inTelemetry)
+	}
+	if help, lit := stringLit(call.Args[1]); lit {
+		switch {
+		case help == "":
+			pass.Reportf(call.Args[1].Pos(), "metric help string is empty: say what the series measures")
+		case strings.ContainsAny(help, "\n\\"):
+			pass.Reportf(call.Args[1].Pos(), "metric help string contains a newline or backslash: keep declarations renderable without escaping")
+		}
+	}
+	if firstLabel < 0 {
+		return
+	}
+	labels := call.Args[firstLabel:]
+	if len(labels) == 0 && !call.Ellipsis.IsValid() {
+		pass.Reportf(call.Pos(), "%s declares no labels: a labeled family needs at least one (the runtime panics at construction)", ctor)
+	}
+	for _, l := range labels {
+		if v, lit := stringLit(l); lit && !labelNameRe.MatchString(v) {
+			pass.Reportf(l.Pos(), "label name %q is not a valid Prometheus label (want %s)", v, labelNameRe)
+		}
+	}
+}
+
+func checkMetricName(pass *Pass, arg ast.Expr, ctor, name string, inTelemetry bool) {
+	if !metricNameRe.MatchString(name) {
+		pass.Reportf(arg.Pos(), "metric name %q is not lowercase snake_case (want %s)", name, metricNameRe)
+		return
+	}
+	switch {
+	case strings.HasPrefix(name, "rths_"):
+	case strings.HasPrefix(name, "go_") && inTelemetry:
+		// Runtime series registered by the telemetry package itself
+		// follow the conventional go_ namespace.
+	default:
+		pass.Reportf(arg.Pos(), "metric name %q lacks the rths_ prefix: every exported series shares the namespace", name)
+		return
+	}
+	counter := ctor == "NewCounter" || ctor == "NewLabeledCounter"
+	if counter && !strings.HasSuffix(name, "_total") {
+		pass.Reportf(arg.Pos(), "counter %q must end in _total (Prometheus counter convention)", name)
+	}
+}
+
+// stringLit unquotes a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -1,0 +1,75 @@
+// Package core is a determinism-analyzer fixture: its path base puts
+// it in the deterministic set, so wall clocks, math/rand and
+// order-sensitive map iteration are all violations here.
+package core
+
+import (
+	"sort"
+	"time"
+
+	_ "math/rand" // want `deterministic package imports math/rand: draw from an xrand stream instead`
+)
+
+// wallClock reads wall time twice — the seeded acceptance violation.
+func wallClock() int64 {
+	t := time.Now()    // want `wall-clock read time\.Now in deterministic package`
+	d := time.Since(t) // want `wall-clock read time\.Since in deterministic package`
+	_ = time.Until(t)  // want `wall-clock read time\.Until in deterministic package`
+	return int64(d) + t.Unix()
+}
+
+// collectUnordered feeds an append from raw map order.
+func collectUnordered(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration order feeds`
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectAnnotated is the same shape with the statement-scoped waiver:
+// the annotated range passes, and the very next range is still flagged
+// — the marker does not bleed past its statement.
+func collectAnnotated(m map[int]int) []int {
+	ids := make([]int, 0, len(m))
+	//rths:nondeterminism-ok keys are collected unordered, then sorted below before use
+	for k := range m {
+		ids = append(ids, k)
+	}
+	sort.Ints(ids)
+	var tail []int
+	for k := range m { // want `map iteration order feeds`
+		tail = append(tail, k)
+	}
+	return append(ids, tail...)
+}
+
+// bareMarker has a reasonless waiver: it suppresses nothing and is
+// itself reported.
+func bareMarker(m map[int]int) []int {
+	var out []int
+	//rths:nondeterminism-ok
+	// want@-1 `needs a reason`
+	for k := range m { // want `map iteration order feeds`
+		out = append(out, k)
+	}
+	return out
+}
+
+// commutative only folds order-insensitive effects and passes without
+// annotation: integer accumulation, flag sets, key-indexed stores,
+// deletes, and body-local writes.
+func commutative(m map[int]int, flags map[int]bool) int {
+	sum := 0
+	seen := false
+	for k, v := range m {
+		sum += v
+		seen = true
+		flags[k] = true
+		delete(flags, k)
+	}
+	if seen {
+		return sum
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+// Package hotpath is the hotpath-analyzer fixture: every allocation
+// construct inside a //rths:hotpath-marked function is flagged, while
+// the identical unmarked twin passes untouched.
+package hotpath
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type ring struct {
+	buf   []int
+	other []int
+}
+
+// marked carries the seeded acceptance violation (an escaping make)
+// plus the rest of the forbidden constructs.
+//
+//rths:hotpath
+func marked(n int, a, b string) []int {
+	out := make([]int, n) // want `make allocates each call`
+	p := new(int)         // want `new allocates each call`
+	*p = n
+	s := a + b // want `string concatenation allocates`
+	s += a     // want `string concatenation allocates`
+	_ = s
+	_ = []int{1, 2, 3}           // want `literal allocates each call`
+	_ = map[string]int{"one": 1} // want `literal allocates each call`
+	fmt.Println(n)               // want `fmt\.Println allocates`
+	return out
+}
+
+//rths:hotpath
+func escapes() *point {
+	return &point{x: 1} // want `escapes to the heap each call`
+}
+
+var sink any
+
+func sinkAny(v any) {}
+
+//rths:hotpath
+func boxes(v int) any {
+	sink = v   // want `boxed into`
+	sinkAny(v) // want `boxed into`
+	return v   // want `boxed into`
+}
+
+// push appends to a receiver-owned buffer — the allowed append shape —
+// then to a foreign slice, which is not.
+//
+//rths:hotpath
+func (r *ring) push(v int, foreign []int) []int {
+	r.buf = append(r.buf, v)
+	r.other = append(r.other, v)
+	foreign = append(foreign, v) // want `append to a non-receiver slice`
+	return foreign
+}
+
+// pointer-shaped values box for free and pass.
+//
+//rths:hotpath
+func boxFree(p *point, m map[int]int) {
+	sink = p
+	sink = m
+	sinkAny(nil)
+}
+
+// unmarked is marked's twin without the annotation: same body, no
+// diagnostics — the contract is opt-in per function.
+func unmarked(n int, a, b string) []int {
+	out := make([]int, n)
+	s := a + b
+	_ = s
+	fmt.Println(n)
+	return out
+}

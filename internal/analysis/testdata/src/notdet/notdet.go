@@ -1,0 +1,26 @@
+// Package notdet is the determinism fixture's negative twin: its path
+// base is outside the deterministic set, so the same constructs that
+// fail in core pass here — only a reasonless annotation is still
+// reported, in every package.
+package notdet
+
+import (
+	"time"
+
+	_ "math/rand"
+)
+
+func wallClock() int64 {
+	t := time.Now()
+	return int64(time.Since(t))
+}
+
+func collectUnordered(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	//rths:nondeterminism-ok
+	// want@-1 `needs a reason`
+	return out
+}

@@ -1,0 +1,47 @@
+// Package seedsplit is the seedsplit-analyzer fixture: every way of
+// deriving a child seed arithmetically is flagged, with the
+// statement-scoped waiver proven to cover exactly one statement.
+package seedsplit
+
+// derive is the seeded acceptance violation: seed+i.
+func derive(seed uint64, i int) uint64 {
+	child := seed + uint64(i) // want `arithmetic seed derivation seed\+`
+	return child
+}
+
+func deriveXor(seed uint64, i uint64) uint64 {
+	return seed ^ i // want `arithmetic seed derivation seed\^`
+}
+
+func deriveMul(cfgSeed uint64) uint64 {
+	return cfgSeed * 2654435761 // want `arithmetic seed derivation cfgSeed\*`
+}
+
+type config struct{ Seed uint64 }
+
+func deriveField(c config, k uint64) uint64 {
+	return c.Seed + k // want `arithmetic seed derivation Seed\+`
+}
+
+func deriveCompound(seed uint64) uint64 {
+	seed += 17 // want `arithmetic seed derivation seed\+=`
+	seed++     // want `arithmetic seed derivation seed\+\+`
+	return seed
+}
+
+// suppressed proves the waiver is statement-scoped: the annotated
+// derivation passes, the next line is still flagged.
+func suppressed(seed uint64, i uint64) (uint64, uint64) {
+	//rths:nondeterminism-ok replaying a recorded pre-Split trace that fixed this derivation
+	a := seed + i
+	b := seed + i + 1 // want `arithmetic seed derivation seed\+`
+	return a, b
+}
+
+// comparisons and non-integer "seed" math are not derivations.
+func fine(seed uint64, seedRatio float64) bool {
+	if seed > 10 {
+		return seedRatio*2 > 1
+	}
+	return seed == 0
+}

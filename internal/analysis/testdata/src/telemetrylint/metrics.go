@@ -1,0 +1,45 @@
+// Fixture body: metric declarations that violate each telemetrylint
+// rule, alongside clean ones that must pass.
+package telemetrylint
+
+var reg = &Registry{}
+
+// Clean declarations: every rule satisfied.
+var (
+	okCounter = reg.NewCounter("rths_rounds_total", "Rounds completed.")
+	okGauge   = reg.NewGauge("rths_welfare_ratio", "Welfare over optimum.")
+	okFamily  = reg.NewLabeledCounter("rths_events_total", "Events by kind.", "kind")
+	okHist    = reg.NewLabeledHistogram("rths_span_seconds", "Round spans.", []float64{0.1, 1}, "channel")
+)
+
+var (
+	badCase   = reg.NewGauge("Welfare_Ratio", "Welfare over optimum.")        // want `not lowercase snake_case`
+	badPrefix = reg.NewGauge("welfare_ratio", "Welfare over optimum.")        // want `lacks the rths_ prefix`
+	badGoNS   = reg.NewGauge("go_goroutines", "Runtime goroutines.")          // want `lacks the rths_ prefix`
+	badTotal  = reg.NewCounter("rths_rounds", "Rounds completed.")            // want `counter "rths_rounds" must end in _total`
+	badHelp   = reg.NewCounter("rths_drops_total", "")                        // want `help string is empty`
+	badEscape = reg.NewGauge("rths_pool_size", "Pool size.\nSecond line.")    // want `newline or backslash`
+	badNoLbl  = reg.NewLabeledCounter("rths_faults_total", "Fault events.")   // want `declares no labels`
+	badLblNme = reg.NewLabeledGauge("rths_deficit", "Deficit.", "Channel-ID") // want `not a valid Prometheus label`
+)
+
+// untracked shares a constructor name without the Registry receiver.
+var untracked = NewCounter("whatever", "Not a metric declaration.")
+
+func resolve() {
+	okFamily.With("join").Inc()
+	okFamily.With("join", "extra").Inc() // want `With\(\) passes 2 label values but the family declared 1 labels`
+	okFamily.With().Inc()                // want `With\(\) passes 0 label values but the family declared 1 labels`
+	okHist.With("sports").Observe(1)
+	okGauge.Set(1)
+	okCounter.Inc()
+	untracked.Inc()
+	_ = badCase
+	_ = badPrefix
+	_ = badGoNS
+	_ = badTotal
+	_ = badHelp
+	_ = badEscape
+	_ = badNoLbl
+	_ = badLblNme
+}

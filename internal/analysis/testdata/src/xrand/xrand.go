@@ -1,0 +1,9 @@
+// Package xrand is the seedsplit exemption fixture: the designated
+// derivation point may mix seeds arithmetically — it implements Split.
+package xrand
+
+func splitMix(seed uint64, i uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*i
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}

@@ -45,7 +45,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"rths/internal/alloc"
 	"rths/internal/core"
@@ -915,15 +914,15 @@ func (c *Cluster) step() error {
 			c.switches++
 		}
 	}
-	var t0 time.Time
+	var t0 int64
 	if c.tel.enabled {
-		t0 = time.Now()
+		t0 = c.tel.clock()
 	}
 	if err := c.backend.step(c.scratch); err != nil {
 		return err
 	}
 	if c.tel.enabled {
-		c.tel.stageSeconds.Observe(time.Since(t0).Seconds())
+		c.tel.stageSeconds.Observe(float64(c.tel.clock()-t0) / 1e9)
 		c.tel.observeStage(c.scratch, len(c.byPeer))
 		if p, tax, ok := c.backend.roundProfile(); ok {
 			c.tel.observeProfile(p, tax)

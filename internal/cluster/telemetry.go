@@ -15,6 +15,12 @@ import (
 type clusterTelemetry struct {
 	enabled bool
 
+	// clock is the director's monotonic clock for stage-latency
+	// observations — the telemetry.MonotonicNow seam, so every profiled
+	// wall-time read in a run (cluster stage timing, distsim WallNs and
+	// round spans) comes off one clock.
+	clock func() int64
+
 	// Gauges: the latest epoch's observables, refreshed at each boundary
 	// (active peers and helpers down also refresh per stage/eviction).
 	welfareRatio *telemetry.Gauge
@@ -76,6 +82,7 @@ type clusterTelemetry struct {
 func newClusterTelemetry(reg *telemetry.Registry, channelNames []string, helpers int) *clusterTelemetry {
 	t := &clusterTelemetry{
 		enabled: reg != nil,
+		clock:   telemetry.MonotonicNow,
 
 		welfareRatio: reg.NewGauge("rths_welfare_ratio", "Last epoch's welfare / optimal welfare."),
 		continuity:   reg.NewGauge("rths_continuity", "Last epoch's playback continuity played/(played+stalled)."),

@@ -677,6 +677,8 @@ func (s *System) Selector(i int) Selector { return s.peers[i].sel }
 // to retain a result across stages. The steady-state sequential path is
 // allocation-free (pinned by TestStepZeroAllocs); with Config.Workers > 1
 // the selection and feedback passes run sharded on a worker pool.
+//
+//rths:hotpath
 func (s *System) Step() (StageResult, error) {
 	var res StageResult
 	err := s.stepInto(&res)
@@ -685,6 +687,8 @@ func (s *System) Step() (StageResult, error) {
 
 // stepInto is Step with the result written in place, letting Run drive the
 // stage loop without copying a StageResult per stage.
+//
+//rths:hotpath
 func (s *System) stepInto(res *StageResult) error {
 	if s.midStage {
 		return errors.New("core: Step during an open SelectStage/FinishStage pair")
@@ -711,6 +715,8 @@ func (s *System) stepInto(res *StageResult) error {
 // point both the whole-stage engine (Step) and the split-phase protocol
 // (SelectStage, driven by the distributed runtime) pass through, so both
 // backends refresh on exactly the same stages.
+//
+//rths:hotpath
 func (s *System) selectPhase() error {
 	s.stageViewSwaps = 0
 	var t0 int64
@@ -732,13 +738,13 @@ func (s *System) selectPhase() error {
 			a := p.selectHelper(s.rng)
 			if p.view != nil {
 				if a < 0 || a >= p.view.Len() {
-					return fmt.Errorf("core: peer %d selected invalid view action %d", i, a)
+					return selectionErr(i, a, true)
 				}
 				s.viewActions[i] = a
 				a = p.view.Global(a)
 			}
 			if a < 0 || a >= len(s.helpers) {
-				return fmt.Errorf("core: peer %d selected invalid helper %d", i, a)
+				return selectionErr(i, a, false)
 			}
 			s.actions[i] = a
 			s.loads[a]++
@@ -752,6 +758,8 @@ func (s *System) selectPhase() error {
 
 // finishInto completes a stage after selection: realized rates, bandit
 // feedback, and the stage metrics, all from the capacities in s.caps.
+//
+//rths:hotpath
 func (s *System) finishInto(res *StageResult) error {
 	var t0 int64
 	if s.inst != nil {
@@ -793,7 +801,7 @@ func (s *System) finishInto(res *StageResult) error {
 				act = s.viewActions[i]
 			}
 			if err := p.feedback(act, r/s.scale); err != nil {
-				return fmt.Errorf("core: peer %d feedback: %w", i, err)
+				return feedbackErr(i, err)
 			}
 		}
 	}
@@ -853,6 +861,8 @@ func (s *System) feedbackSharded() (welfare, serverLoad, demandSum float64, err 
 
 // shardSelect is shard k's selection pass: sample a helper for every peer
 // in the shard from the shard's private RNG stream, counting loads locally.
+//
+//rths:hotpath
 func (s *System) shardSelect(k int) {
 	loads := s.shardLoads[k]
 	for j := range loads {
@@ -866,7 +876,7 @@ func (s *System) shardSelect(k int) {
 		if p.view != nil {
 			if a < 0 || a >= p.view.Len() {
 				if s.shards[k].err == nil {
-					s.shards[k].err = fmt.Errorf("core: peer %d selected invalid view action %d", i, a)
+					s.shards[k].err = selectionErr(i, a, true)
 				}
 				a = 0 // keep the buffers consistent; the error aborts the stage
 			}
@@ -875,7 +885,7 @@ func (s *System) shardSelect(k int) {
 		}
 		if a < 0 || a >= h {
 			if s.shards[k].err == nil {
-				s.shards[k].err = fmt.Errorf("core: peer %d selected invalid helper %d", i, a)
+				s.shards[k].err = selectionErr(i, a, false)
 			}
 			a = 0 // keep the buffers consistent; the error aborts the stage
 		}
@@ -887,6 +897,8 @@ func (s *System) shardSelect(k int) {
 // shardFeedback is shard k's rate/feedback pass: realize each peer's rate,
 // accumulate the shard's welfare/server-load partials, and feed the
 // learners.
+//
+//rths:hotpath
 func (s *System) shardFeedback(k int) {
 	st := &s.shards[k]
 	st.welfare, st.serverLoad, st.demandSum = 0, 0, 0
@@ -906,9 +918,24 @@ func (s *System) shardFeedback(k int) {
 			act = s.viewActions[i]
 		}
 		if uerr := p.feedback(act, r/s.scale); uerr != nil && st.err == nil {
-			st.err = fmt.Errorf("core: peer %d feedback: %w", i, uerr)
+			st.err = feedbackErr(i, uerr)
 		}
 	}
+}
+
+// selectionErr builds the invalid-selection errors off the hot path
+// (view=true: the view-local action was out of range; view=false: the
+// routed global helper id was).
+func selectionErr(i, a int, view bool) error {
+	if view {
+		return fmt.Errorf("core: peer %d selected invalid view action %d", i, a)
+	}
+	return fmt.Errorf("core: peer %d selected invalid helper %d", i, a)
+}
+
+// feedbackErr wraps a learner-feedback failure off the hot path.
+func feedbackErr(i int, err error) error {
+	return fmt.Errorf("core: peer %d feedback: %w", i, err)
 }
 
 // runShards executes fn(k) for every shard k. Large populations fan out to

@@ -69,7 +69,6 @@ import (
 	"fmt"
 	"slices"
 	"sync"
-	"time"
 
 	"rths/internal/core"
 	"rths/internal/markov"
@@ -562,10 +561,12 @@ func (m *manager) applyOps(ops []op) {
 
 // stepRound runs one protocol round for this channel: select, batch-attach,
 // collect capacities, realize rates and feedback, tick buffers, report.
+//
+//rths:hotpath
 func (m *manager) stepRound(round int) {
 	actions, loads, err := m.sys.SelectStage()
 	if err != nil {
-		m.err = fmt.Errorf("distsim: channel %q: %w", m.name, err)
+		m.err = m.stageErr(err)
 		return
 	}
 	// One slice-valued attach batch per pool helper — the whole round's
@@ -619,8 +620,7 @@ func (m *manager) stepRound(round int) {
 			}
 		}
 		if local < 0 || rep.round != round {
-			m.err = fmt.Errorf("distsim: channel %q got reply from helper %d round %d during round %d",
-				m.name, rep.helper, rep.round, round)
+			m.err = m.replyErr(rep.helper, rep.round, round)
 			return
 		}
 		// An unreachable helper's reply never arrives; its own link draw
@@ -665,7 +665,7 @@ func (m *manager) stepRound(round int) {
 	}
 	res, err := m.sys.FinishStage(m.caps)
 	if err != nil {
-		m.err = fmt.Errorf("distsim: channel %q: %w", m.name, err)
+		m.err = m.stageErr(err)
 		return
 	}
 	for i, b := range m.bufs {
@@ -682,7 +682,7 @@ func (m *manager) stepRound(round int) {
 		}
 		played, err := b.Tick(rate)
 		if err != nil {
-			m.err = fmt.Errorf("distsim: channel %q buffer: %w", m.name, err)
+			m.err = m.bufferErr(err)
 			return
 		}
 		if played {
@@ -704,6 +704,21 @@ func (m *manager) stepRound(round int) {
 	m.out.Missed = m.missed
 }
 
+// stageErr, replyErr and bufferErr build stepRound's failure messages off
+// the hot path so the round body stays free of fmt calls.
+func (m *manager) stageErr(err error) error {
+	return fmt.Errorf("distsim: channel %q: %w", m.name, err)
+}
+
+func (m *manager) replyErr(helper, got, want int) error {
+	return fmt.Errorf("distsim: channel %q got reply from helper %d round %d during round %d",
+		m.name, helper, got, want)
+}
+
+func (m *manager) bufferErr(err error) error {
+	return fmt.Errorf("distsim: channel %q buffer: %w", m.name, err)
+}
+
 // Runtime owns the nodes of one distributed deployment. Drive it with
 // StepRound and release it with Close; ops enqueued between rounds are
 // applied at the start of the next round.
@@ -721,8 +736,13 @@ type Runtime struct {
 	// wallScratch and sortScratch are reusable per-round buffers so the
 	// profile computation allocates nothing in steady state; cumIdleNs
 	// and cumTotalNs accumulate the running barrier tax.
-	spans       *telemetry.Recorder
-	profiled    bool
+	spans    *telemetry.Recorder
+	profiled bool
+	// clock is the coordinator's monotonic clock for the per-round
+	// WallNs accounting: Config.SpanClock when set, otherwise
+	// telemetry.MonotonicNow — one clock seam for every wall-time read
+	// in the runtime (the managers' span stamps share it).
+	clock       func() int64
 	wallScratch []int64
 	sortScratch []int64
 	profile     RoundProfile
@@ -776,9 +796,10 @@ func New(cfg Config) (*Runtime, error) {
 		profiled:   cfg.Spans != nil || cfg.SpanClock != nil,
 	}
 	spanClock := cfg.SpanClock
-	if rt.profiled && spanClock == nil {
+	if spanClock == nil {
 		spanClock = telemetry.MonotonicNow
 	}
+	rt.clock = spanClock
 	if rt.profiled {
 		rt.wallScratch = make([]int64, len(cfg.Channels))
 		rt.sortScratch = make([]int64, len(cfg.Channels))
@@ -964,7 +985,7 @@ func (rt *Runtime) StepRound() (*RoundStats, error) {
 	if rt.closed {
 		return nil, errors.New("distsim: runtime closed")
 	}
-	t0 := time.Now()
+	t0 := rt.clock()
 	if !rt.started {
 		rt.started = true
 		for _, m := range rt.managers {
@@ -1026,7 +1047,7 @@ func (rt *Runtime) StepRound() (*RoundStats, error) {
 		rt.cumIdleNs += rt.profile.IdleNs
 		rt.cumTotalNs += rt.profile.TotalNs
 	}
-	rt.stats.WallNs = time.Since(t0).Nanoseconds()
+	rt.stats.WallNs = rt.clock() - t0
 	rt.stats.Round = rt.round
 	rt.round++
 	return &rt.stats, firstErr

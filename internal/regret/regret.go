@@ -260,6 +260,8 @@ func (l *Learner) MinProbAction() int {
 // Select samples an action from the current mixed strategy. The strategy
 // is maintained as a valid simplex by recomputeProbs, so the sampling can
 // use the single-pass normalized path.
+//
+//rths:hotpath
 func (l *Learner) Select(r *xrand.Rand) int {
 	l.last = r.CategoricalNorm(l.probs)
 	return l.last
@@ -279,17 +281,14 @@ func (l *Learner) ForceAction(a int) {
 // Update ingests the bandit feedback for the action played this stage and
 // recomputes the mixed strategy. The action must be the one returned by the
 // latest Select (or ForceAction); utility must be finite and non-negative.
+//
+//rths:hotpath
 func (l *Learner) Update(action int, utility float64) error {
-	if action != l.last {
-		return fmt.Errorf("regret: Update(action=%d) does not match selected action %d", action, l.last)
-	}
-	if action < 0 || action >= l.m {
-		return fmt.Errorf("regret: Update action %d out of range [0,%d)", action, l.m)
-	}
-	// One comparison covers NaN (fails >= 0), -Inf (fails >= 0) and +Inf
-	// (fails <= MaxFloat64) without math.IsNaN/IsInf calls in the hot path.
-	if !(utility >= 0 && utility <= math.MaxFloat64) {
-		return fmt.Errorf("regret: Update utility %g invalid", utility)
+	// One utility comparison covers NaN (fails >= 0), -Inf (fails >= 0)
+	// and +Inf (fails <= MaxFloat64) without math.IsNaN/IsInf calls in
+	// the hot path; error construction lives in the cold helper.
+	if action != l.last || action < 0 || action >= l.m || !(utility >= 0 && utility <= math.MaxFloat64) {
+		return l.updateErr(action, utility)
 	}
 	eps := l.cfg.StepSize
 
@@ -325,6 +324,19 @@ func (l *Learner) Update(action int, utility float64) error {
 	l.recomputeProbs(action)
 	l.last = -1
 	return nil
+}
+
+// updateErr rebuilds Update's validation verdict off the hot path. The
+// checks repeat in Update's guard order so the reported error matches the
+// first failing condition.
+func (l *Learner) updateErr(action int, utility float64) error {
+	if action != l.last {
+		return fmt.Errorf("regret: Update(action=%d) does not match selected action %d", action, l.last)
+	}
+	if action < 0 || action >= l.m {
+		return fmt.Errorf("regret: Update action %d out of range [0,%d)", action, l.m)
+	}
+	return fmt.Errorf("regret: Update utility %g invalid", utility)
 }
 
 // regretScale converts stored T-matrix differences into the mode's Q value.

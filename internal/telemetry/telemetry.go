@@ -39,6 +39,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n. No-op on a nil receiver.
+//
+//rths:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -47,6 +49,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one. No-op on a nil receiver.
+//
+//rths:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 on a nil receiver).
@@ -79,6 +83,8 @@ type Gauge struct {
 }
 
 // Set stores the value. No-op on a nil receiver.
+//
+//rths:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -126,6 +132,8 @@ func (h *Histogram) NewLike() *Histogram {
 }
 
 // Observe records one value. No-op on a nil receiver; never allocates.
+//
+//rths:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -139,6 +147,7 @@ func (h *Histogram) Observe(v float64) {
 	h.addSum(v)
 }
 
+//rths:hotpath
 func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sumBits.Load()

@@ -141,6 +141,7 @@ func GenerateChurn(cfg ChurnConfig) (*Workload, error) {
 	for stage := 0; stage < cfg.Horizon; stage++ {
 		// Departures scheduled for this stage.
 		var leaving []int
+		//rths:nondeterminism-ok keys are collected unordered, then sorted before any event is emitted
 		for id, s := range active {
 			if s.depart == stage {
 				leaving = append(leaving, id)
@@ -154,6 +155,7 @@ func GenerateChurn(cfg ChurnConfig) (*Workload, error) {
 		// Channel switches.
 		if cfg.SwitchRate > 0 && cfg.Channels > 1 {
 			ids := make([]int, 0, len(active))
+			//rths:nondeterminism-ok keys are collected unordered, then sorted before the RNG stream is consumed
 			for id := range active {
 				ids = append(ids, id)
 			}
