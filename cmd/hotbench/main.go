@@ -8,10 +8,15 @@
 //
 // Usage:
 //
-//	hotbench [-out BENCH_hotpath.json] [-stages 200] [-repeat 1] [-full]
+//	hotbench [-out BENCH_hotpath.json] [-stages 200] [-repeat 1] [-full] [-cpu 1,0]
 //	hotbench -repeat 3 -baseline BENCH_hotpath.json -tolerance 0.20
 //
-// -full adds the N=100k population and the 100-channel cluster (slow;
+// -cpu runs a multi-core sweep after the standard rounds: a comma-
+// separated list of GOMAXPROCS values (0 = all cores) at which the same
+// sharded workload is re-measured sequentially and with workers, at both
+// peer-level and channel-level sharding granularity; the speedup curves
+// land in the report's multi_core section. -full adds the N=100k
+// population and the 100-channel cluster (slow;
 // several seconds per scenario). -baseline compares the fresh measurements
 // against a committed report and exits non-zero if any like-named
 // scenario's throughput regressed by more than -tolerance — the CI gate
@@ -31,6 +36,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"rths"
@@ -48,6 +55,26 @@ type Report struct {
 	Cluster    []ClusterResult  `json:"cluster"`
 	Distsim    []ScenarioResult `json:"distsim"`
 	Learner    []LearnerResult  `json:"learner_update"`
+	MultiCore  []MultiCoreRow   `json:"multi_core,omitempty"`
+}
+
+// MultiCoreRow is one -cpu sweep measurement: a fixed workload measured at
+// an explicit GOMAXPROCS value, sequential and sharded, at both sharding
+// granularities the engine offers — "peer" (one system's stage loop split
+// into worker shards) and "channel" (a cluster fanning whole channels out
+// to workers). SpeedupVsSeq divides the workers==0 row's ns/stage at the
+// same GOMAXPROCS, so the curve shows what the cores actually bought; a
+// row with gomaxprocs 1 documents the inline fallback (speedup ≈ 1, the
+// honest single-core figure, not a goroutine-scheduling artifact).
+type MultiCoreRow struct {
+	Name         string  `json:"name"`
+	Granularity  string  `json:"granularity"` // "peer" or "channel"
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Workers      int     `json:"workers"`
+	Channels     int     `json:"channels,omitempty"`
+	Peers        int     `json:"peers"`
+	NsPerStage   float64 `json:"ns_per_stage"`
+	SpeedupVsSeq float64 `json:"speedup_vs_seq,omitempty"`
 }
 
 // ClusterResult is one multi-channel cluster measurement (stage loop plus
@@ -60,6 +87,7 @@ type ClusterResult struct {
 	Peers            int     `json:"peers"`
 	Helpers          int     `json:"helpers"`
 	Workers          int     `json:"workers"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
 	FullOnly         bool    `json:"full_run_only,omitempty"`
 	Stages           int     `json:"stages"`
 	NsPerStage       float64 `json:"ns_per_stage"`
@@ -72,11 +100,16 @@ type ClusterResult struct {
 // ScenarioResult is one stage-engine measurement. NsPerStage and
 // AllocsPerStage are per-round minima (the gate and the allocation pin);
 // the mean/max fields record the spread across the -repeat rounds.
+// GOMAXPROCS records the processor count the row was measured under: a
+// workers>0 row taken at gomaxprocs 1 ran its shards inline (the engine's
+// honest single-core fallback), so the gate refuses to treat it as a
+// parallel measurement.
 type ScenarioResult struct {
 	Name               string  `json:"name"`
 	Peers              int     `json:"peers"`
 	Helpers            int     `json:"helpers"`
 	Workers            int     `json:"workers"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
 	ViewSize           int     `json:"view_size,omitempty"`
 	FullOnly           bool    `json:"full_run_only,omitempty"`
 	Stages             int     `json:"stages"`
@@ -157,6 +190,14 @@ func measureScenario(spec scenarioSpec, stages int) (ScenarioResult, error) {
 	if err := sys.Run(8, nil); err != nil {
 		return ScenarioResult{}, fmt.Errorf("%s warmup: %w", spec.name, err)
 	}
+	// One throwaway GC + short run before the measured window: the first
+	// collection over a freshly grown heap can trigger one-time lazy
+	// runtime initialization (a single ~32B malloc) during the stages that
+	// follow it, which would otherwise read as a phantom engine allocation.
+	runtime.GC()
+	if err := sys.Run(2, nil); err != nil {
+		return ScenarioResult{}, fmt.Errorf("%s warmup: %w", spec.name, err)
+	}
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
@@ -172,6 +213,7 @@ func measureScenario(spec scenarioSpec, stages int) (ScenarioResult, error) {
 		Peers:            spec.peers,
 		Helpers:          spec.helpers,
 		Workers:          spec.workers,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		ViewSize:         spec.viewSize,
 		FullOnly:         spec.fullOnly,
 		Stages:           stages,
@@ -311,6 +353,7 @@ func measureCluster(spec clusterSpec, stages int) (ClusterResult, error) {
 		Peers:            spec.peers,
 		Helpers:          spec.helpers,
 		Workers:          spec.workers,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		FullOnly:         spec.fullOnly,
 		Stages:           measured,
 		NsPerStage:       ns,
@@ -360,6 +403,7 @@ func measureDistsim(name string, peers, helpers, stages int) (ScenarioResult, er
 		Name:             name,
 		Peers:            peers,
 		Helpers:          helpers,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		Stages:           stages,
 		NsPerStage:       ns,
 		StagesPerSec:     1e9 / ns,
@@ -400,6 +444,71 @@ func measureLearner(m, iters int) (LearnerResult, error) {
 	}, nil
 }
 
+// multiCoreSweep measures the seq-vs-workers speedup curve at each listed
+// GOMAXPROCS value (already resolved: every entry >= 1), at both sharding
+// granularities over the same 4000-viewer audience:
+//
+//   - peer granularity: one system, the stage loop split into 4 worker
+//     shards (strided peer membership inside a single channel);
+//   - channel granularity: a 4-channel cluster of 1000 viewers each,
+//     whole channels fanned out to 4 workers.
+//
+// Each granularity is measured sequentially and sharded at every P, so
+// the rows answer two questions the committed report must keep honest:
+// what a core actually buys (SpeedupVsSeq at P>1), and what the sharded
+// configuration costs when the cores aren't there (the P=1 rows run
+// shards inline — SpeedupVsSeq ≈ 1 is the truthful answer, not a
+// goroutine-scheduling artifact). GOMAXPROCS is restored on return.
+func multiCoreSweep(cpus []int, stages int) ([]MultiCoreRow, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var rows []MultiCoreRow
+	for _, p := range cpus {
+		runtime.GOMAXPROCS(p)
+		var peerSeq float64
+		for _, w := range []int{0, 4} {
+			res, err := measureScenario(scenarioSpec{
+				name: "mc-peer-4000", peers: 4000, helpers: 16, workers: w,
+			}, stages)
+			if err != nil {
+				return nil, err
+			}
+			row := MultiCoreRow{
+				Name: "mc-peer-4000", Granularity: "peer",
+				GOMAXPROCS: p, Workers: w, Peers: 4000,
+				NsPerStage: res.NsPerStage,
+			}
+			if w == 0 {
+				peerSeq = res.NsPerStage
+			} else if peerSeq > 0 {
+				row.SpeedupVsSeq = peerSeq / res.NsPerStage
+			}
+			rows = append(rows, row)
+		}
+		var chanSeq float64
+		for _, w := range []int{0, 4} {
+			res, err := measureCluster(clusterSpec{
+				name: "mc-channel-4x1000", channels: 4, peers: 4000, helpers: 16, workers: w,
+			}, stages)
+			if err != nil {
+				return nil, err
+			}
+			row := MultiCoreRow{
+				Name: "mc-channel-4x1000", Granularity: "channel",
+				GOMAXPROCS: p, Workers: w, Channels: 4, Peers: 4000,
+				NsPerStage: res.NsPerStage,
+			}
+			if w == 0 {
+				chanSeq = res.NsPerStage
+			} else if chanSeq > 0 {
+				row.SpeedupVsSeq = chanSeq / res.NsPerStage
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
 // buildReport runs every measurement; split from main so the test can
 // exercise the full pipeline with a trimmed budget. repeat > 1 runs the
 // whole measurement set that many times in interleaved rounds and keeps
@@ -409,7 +518,9 @@ func measureLearner(m, iters int) (LearnerResult, error) {
 // cannot skew the *relative* shape the regression gate normalizes against.
 // The discarded rounds are not thrown away entirely: every row records the
 // min/mean/max spread of its ns and allocs figures across the rounds.
-func buildReport(stages, repeat int, full bool) (*Report, error) {
+// cpus, when non-empty, appends a single-round multi-core sweep (see
+// multiCoreSweep) after the repeated rounds.
+func buildReport(stages, repeat int, full bool, cpus []int) (*Report, error) {
 	if repeat < 1 {
 		repeat = 1
 	}
@@ -456,6 +567,13 @@ func buildReport(stages, repeat int, full bool) (*Report, error) {
 		}
 	}
 	finishSpreads(rep, repeat)
+	if len(cpus) > 0 {
+		rows, err := multiCoreSweep(cpus, stages)
+		if err != nil {
+			return nil, err
+		}
+		rep.MultiCore = rows
+	}
 	return rep, nil
 }
 
@@ -550,6 +668,27 @@ func writeReport(rep *Report, path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// parseCPUList parses the -cpu flag: a comma-separated list of GOMAXPROCS
+// values, 0 meaning "all cores on this box". An empty string disables the
+// sweep (returns nil).
+func parseCPUList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("-cpu: %q is not a non-negative GOMAXPROCS value", part)
+		}
+		if v == 0 {
+			v = runtime.NumCPU()
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func loadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -584,6 +723,15 @@ func loadReport(path string) (*Report, error) {
 // measurement run can still be gated against the standard committed
 // baseline, and a baseline regenerated with -full still gates a standard
 // CI run.
+//
+// Parallel rows (workers > 0) get a second, softer gate: they are
+// compared — normalized by the same sequential geomeans — only when BOTH
+// sides measured them with real parallelism (gomaxprocs > 1 recorded on
+// the row). A workers>0 row taken at GOMAXPROCS=1 ran its shards inline,
+// so comparing it against a multi-core measurement would gate core
+// availability, not engine throughput; such rows, and rows absent on
+// either side, are skipped rather than failed (baselines written before
+// the per-row field decode gomaxprocs as 0 and are skipped the same way).
 func compareReports(fresh, baseline *Report, tolerance float64) []string {
 	index := func(rep *Report) map[string]float64 {
 		out := make(map[string]float64)
@@ -646,6 +794,39 @@ func compareReports(fresh, baseline *Report, tolerance float64) []string {
 				name, cur[name], base[name], 100*(1-rel), 100*tolerance))
 		}
 	}
+	// The soft parallel gate: workers>0 rows, only when both sides carry a
+	// multi-core measurement (gomaxprocs > 1), normalized by the sequential
+	// geomeans above so the machine-speed factor still cancels.
+	indexPar := func(rep *Report) map[string]float64 {
+		out := make(map[string]float64)
+		for _, s := range rep.Scenarios {
+			if s.Workers > 0 && !s.FullOnly && s.GOMAXPROCS > 1 {
+				out[s.Name] = s.PeerStagesPerSec
+			}
+		}
+		for _, s := range rep.Cluster {
+			if s.Workers > 0 && !s.FullOnly && s.GOMAXPROCS > 1 {
+				out[s.Name] = s.PeerStagesPerSec
+			}
+		}
+		return out
+	}
+	pBase, pCur := indexPar(baseline), indexPar(fresh)
+	var parNames []string
+	for name, perf := range pCur {
+		if want, ok := pBase[name]; ok && want > 0 && perf > 0 {
+			parNames = append(parNames, name)
+		}
+	}
+	sort.Strings(parNames)
+	for _, name := range parNames {
+		rel := (pCur[name] / gCur) / (pBase[name] / gBase)
+		if rel < 1-tolerance {
+			fails = append(fails, fmt.Sprintf(
+				"%s (parallel): %.0f peer-stages/sec vs baseline %.0f (normalized %.1f%% below baseline shape, tolerance %.0f%%)",
+				name, pCur[name], pBase[name], 100*(1-rel), 100*tolerance))
+		}
+	}
 	return fails
 }
 
@@ -656,7 +837,13 @@ func main() {
 	repeat := flag.Int("repeat", 1, "measure each scenario N times and keep the fastest run")
 	baseline := flag.String("baseline", "", "committed report to gate against (empty disables)")
 	tolerance := flag.Float64("tolerance", 0.20, "max allowed throughput regression vs -baseline")
+	cpu := flag.String("cpu", "", "comma-separated GOMAXPROCS values for the multi-core sweep (0 = all cores; empty disables)")
 	flag.Parse()
+	cpus, err := parseCPUList(*cpu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotbench:", err)
+		os.Exit(2)
+	}
 	if *stages <= 0 {
 		fmt.Fprintln(os.Stderr, "hotbench: -stages must be positive")
 		os.Exit(2)
@@ -669,7 +856,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hotbench: -tolerance must lie in (0,1)")
 		os.Exit(2)
 	}
-	rep, err := buildReport(*stages, *repeat, *full)
+	rep, err := buildReport(*stages, *repeat, *full, cpus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hotbench:", err)
 		os.Exit(1)
@@ -692,6 +879,14 @@ func main() {
 	}
 	for _, l := range rep.Learner {
 		fmt.Printf("learner m=%-4d  %8.1f ns/update  %6.2f allocs/update\n", l.M, l.NsPerOp, l.AllocsPerOp)
+	}
+	for _, m := range rep.MultiCore {
+		speedup := "      (seq)"
+		if m.SpeedupVsSeq > 0 {
+			speedup = fmt.Sprintf("%6.2fx seq", m.SpeedupVsSeq)
+		}
+		fmt.Printf("%-22s %-8s P=%-2d W=%-2d N=%-6d  %12.0f ns/stage  %s\n",
+			m.Name, m.Granularity, m.GOMAXPROCS, m.Workers, m.Peers, m.NsPerStage, speedup)
 	}
 	fmt.Println("wrote", *out)
 	if *baseline != "" {

@@ -65,6 +65,39 @@ func boxFree(p *point, m map[int]int) {
 	sinkAny(nil)
 }
 
+// arena mirrors the struct-of-arrays learner store's hot shapes: slot
+// binding is pure slice-header arithmetic (three-index reslices of
+// receiver-owned slabs — no allocation), in-slot repacks are copies
+// within the slab, and handle bookkeeping appends to a receiver-owned
+// slice. All of it passes. Growing the slabs is a cold-path make and is
+// flagged the moment someone marks it.
+type arena struct {
+	stride  int
+	slab    []float64
+	handles []*ring
+}
+
+//rths:hotpath
+func (a *arena) bindSlot(slot, m int) []float64 {
+	off := slot * a.stride
+	return a.slab[off : off+m : off+a.stride]
+}
+
+//rths:hotpath
+func (a *arena) repackSlot(h *ring, slot, m, nm int) {
+	t := a.slab[slot*a.stride:]
+	for j := m - 1; j >= 0; j-- {
+		copy(t[j*nm:j*nm+m], t[j*m:j*m+m])
+		t[j*nm+m] = 0
+	}
+	a.handles = append(a.handles, h)
+}
+
+//rths:hotpath
+func (a *arena) growSlabMarked(slots int) {
+	a.slab = make([]float64, slots*a.stride) // want `make allocates each call`
+}
+
 // unmarked is marked's twin without the annotation: same body, no
 // diagnostics — the contract is opt-in per function.
 func unmarked(n int, a, b string) []int {

@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"rths/internal/markov"
@@ -177,6 +178,15 @@ type Config struct {
 	// 0 selects DefaultViewRefresh; negative disables refresh. Ignored
 	// when partial views are not engaged.
 	ViewRefresh int
+	// ShardMinPeers gates the sharded engine's goroutine fan-out: shards
+	// run inline on the calling goroutine (same per-shard RNG streams,
+	// bit-identical results) until the population reaches
+	// Workers*ShardMinPeers peers, or whenever the process has a single
+	// scheduler core (GOMAXPROCS=1) — goroutines cannot run in parallel
+	// there, so the fan-out would only add handoff latency while the
+	// recorded numbers masquerade as parallel measurements. 0 selects
+	// DefaultShardMinPeers; negative is invalid.
+	ShardMinPeers int
 	// Instruments is the optional per-engine telemetry seam: when non-nil
 	// the stage loop observes select/feedback phase wall time and counts
 	// stages and view swaps into it. Each engine must own its own set (a
@@ -278,12 +288,24 @@ type System struct {
 	stageViewSwaps int
 
 	// Sharded parallel engine (Config.Workers > 1).
-	workers    int
-	shardRngs  []*xrand.Rand // per-shard selection streams
-	shardLoads [][]int       // per-shard load accumulators
-	shards     []shardState  // per-shard feedback partials
-	selectFn   func(k int)   // bound shardSelect, hoisted so Step stays alloc-free
-	feedbackFn func(k int)   // bound shardFeedback, same reason
+	workers       int
+	shardRngs     []*xrand.Rand // per-shard selection streams
+	shardLoads    [][]int       // per-shard load accumulators
+	shards        []shardState  // per-shard feedback partials
+	selectFn      func(k int)   // bound shardSelect, hoisted so Step stays alloc-free
+	feedbackFn    func(k int)   // bound shardFeedback, same reason
+	shardMinPeers int           // Config.ShardMinPeers (defaulted)
+	maxProcs      int           // GOMAXPROCS at construction; 1 forces inline shards
+
+	// arena is the struct-of-arrays store for the resident RTHS learners:
+	// every peer whose selector is a *regret.Learner has its proxy matrix
+	// and probability vector in the arena's contiguous slabs, so the
+	// select/feedback passes walk dense memory instead of per-learner
+	// heap objects. Learners are adopted on join (New, AddPeer) and
+	// released (with slot compaction) on leave (RemovePeer); residency
+	// never changes the arithmetic, only the memory layout — pinned by
+	// the engine equivalence tests.
+	arena *regret.Arena
 }
 
 // shardState holds one shard's per-stage partial aggregates, padded to a
@@ -296,12 +318,11 @@ type shardState struct {
 	_          [3]uint64
 }
 
-// shardMinPeersPerWorker gates goroutine fan-out: below this many peers per
-// shard the parallel engine runs its shards inline (same RNG streams, same
-// results) because goroutine handoff would cost more than the stage work.
-// A var rather than a const so tests can pin either execution mode and
-// assert the two are bit-identical.
-var shardMinPeersPerWorker = 64
+// DefaultShardMinPeers is the default Config.ShardMinPeers: below this
+// many peers per shard the parallel engine runs its shards inline (same
+// RNG streams, same results) because goroutine handoff would cost more
+// than the stage work.
+const DefaultShardMinPeers = 64
 
 // StageResult is the global view of one completed stage.
 type StageResult struct {
@@ -356,6 +377,9 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("core: Workers=%d", cfg.Workers)
+	}
+	if cfg.ShardMinPeers < 0 {
+		return nil, fmt.Errorf("core: ShardMinPeers=%d", cfg.ShardMinPeers)
 	}
 	factory := cfg.Factory
 	if factory == nil {
@@ -416,6 +440,16 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 
+	// One arena per system: every RTHS learner's state lives in its
+	// contiguous slabs. Sized with +1 headroom over the joining size so
+	// the view refresh's add-before-remove transient never forces a slot
+	// regrow (NewArena clamps to the learner action bound internally).
+	s.arena = regret.NewArena(s.NewPeerActions() + 1)
+	// The population size is known up front: reserve the slabs once
+	// instead of paying O(NumPeers) doubling garbage during the adoption
+	// loop (at a million viewers that garbage would dwarf the live heap).
+	s.arena.Reserve(cfg.NumPeers)
+
 	for i := 0; i < cfg.NumPeers; i++ {
 		sel, err := factory(i, s.NewPeerActions(), scale)
 		if err != nil {
@@ -430,6 +464,7 @@ func New(cfg Config) (*System, error) {
 		}
 		p := newPeer(sel, cfg.DemandPerPeer)
 		s.attachView(p)
+		s.adopt(p)
 		s.peers = append(s.peers, p)
 	}
 	s.actions = make([]int, len(s.peers))
@@ -453,9 +488,50 @@ func New(cfg Config) (*System, error) {
 		s.selectFn = s.shardSelect
 		s.feedbackFn = s.shardFeedback
 	}
+	s.shardMinPeers = cfg.ShardMinPeers
+	if s.shardMinPeers == 0 {
+		s.shardMinPeers = DefaultShardMinPeers
+	}
+	// Captured once: the fan-out gate must not flip mid-run if some other
+	// subsystem adjusts GOMAXPROCS (results are identical either way, but
+	// the execution mode should be stable and inspectable).
+	s.maxProcs = runtime.GOMAXPROCS(0)
 	s.rebuildObservers()
 	return s, nil
 }
+
+// adopt moves a joining peer's RTHS learner into the system arena (no-op
+// for non-learner policies, or when the arena is detached by tests).
+func (s *System) adopt(p *peer) {
+	if s.arena != nil && p.lrn != nil {
+		s.arena.Adopt(p.lrn)
+	}
+}
+
+// release returns a departing peer's learner state to private storage and
+// compacts the freed arena slot (swap-with-last), keeping the slabs dense
+// under churn.
+func (s *System) release(p *peer) {
+	if s.arena != nil && p.lrn != nil {
+		s.arena.Release(p.lrn)
+	}
+}
+
+// discard compacts a destroyed peer's arena slot without materializing
+// private storage — the learner is dead (RemovePeer invalidates the
+// removed peer's selector), so the departing side of churn allocates
+// nothing. Cluster channel switches (remove here + fresh add there) ride
+// this path every stage.
+func (s *System) discard(p *peer) {
+	if s.arena != nil && p.lrn != nil {
+		s.arena.Discard(p.lrn)
+	}
+}
+
+// LearnerArena exposes the system's learner arena for inspection (tests
+// assert density under churn; tools read the slot cost model). Nil only
+// when a test has detached it.
+func (s *System) LearnerArena() *regret.Arena { return s.arena }
 
 // rebuildObservers recomputes the cached StageObserver list from scratch
 // (construction and RemovePeer; AddPeer appends incrementally).
@@ -939,10 +1015,13 @@ func feedbackErr(i int, err error) error {
 }
 
 // runShards executes fn(k) for every shard k. Large populations fan out to
-// one goroutine per shard; small ones run inline — the per-shard RNG
-// streams make both execution modes produce identical results.
+// one goroutine per shard; small ones — and any population when the
+// process has a single scheduler core, where goroutines cannot actually
+// run in parallel — run inline. The per-shard RNG streams make both
+// execution modes produce identical results, so the gate is purely a
+// scheduling decision (pinned by TestParallelInlineMatchesGoroutines).
 func (s *System) runShards(fn func(k int)) {
-	if len(s.peers) < s.workers*shardMinPeersPerWorker {
+	if s.maxProcs == 1 || len(s.peers) < s.workers*s.shardMinPeers {
 		for k := 0; k < s.workers; k++ {
 			fn(k)
 		}
@@ -1101,6 +1180,7 @@ func (s *System) AddPeer(sel Selector, demand float64) (int, error) {
 	}
 	p := newPeer(sel, demand)
 	s.attachView(p)
+	s.adopt(p)
 	s.peers = append(s.peers, p)
 	s.actions = append(s.actions, 0)
 	s.viewActions = append(s.viewActions, 0)
@@ -1114,6 +1194,9 @@ func (s *System) AddPeer(sel Selector, demand float64) (int, error) {
 }
 
 // RemovePeer removes peer i (departure churn). Later peers shift down.
+// The removed peer's selector is destroyed with it — references obtained
+// earlier via Selector(i) must not be used afterwards (a default RTHS
+// learner's arena slot is reclaimed without copying the state out).
 func (s *System) RemovePeer(i int) error {
 	if s.midStage {
 		return errors.New("core: RemovePeer during an open SelectStage/FinishStage pair (peer churn must happen between stages)")
@@ -1121,6 +1204,7 @@ func (s *System) RemovePeer(i int) error {
 	if i < 0 || i >= len(s.peers) {
 		return fmt.Errorf("core: RemovePeer(%d) with %d peers", i, len(s.peers))
 	}
+	s.discard(s.peers[i])
 	s.peers = append(s.peers[:i], s.peers[i+1:]...)
 	s.actions = s.actions[:len(s.peers)]
 	s.viewActions = s.viewActions[:len(s.peers)]

@@ -444,9 +444,10 @@ func TestViewParallelDeterministicAcrossRuns(t *testing.T) {
 		if got := len(sys.peers); got != 256 {
 			t.Fatalf("peers = %d", got)
 		}
-		if 256 < sys.workers*shardMinPeersPerWorker {
+		if 256 < sys.workers*sys.shardMinPeers {
 			t.Fatal("population too small to exercise the goroutine fan-out")
 		}
+		sys.maxProcs = 2 // exercise the goroutine fan-out even on one core
 		var welfare []float64
 		if err := sys.Run(40, func(r StageResult) { welfare = append(welfare, r.Welfare) }); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,237 @@
+package regret
+
+// Arena is a struct-of-arrays store for resident learners: every adopted
+// Learner's proxy matrix and probability vector live in two contiguous
+// float64 slabs (one slot per learner), so a shard's select/feedback pass
+// walks dense memory instead of chasing per-learner heap allocations. The
+// Learner stays the owner of all scalar state (decay weight, stage, hot
+// constants); adoption only re-points its t/probs slice headers into the
+// slabs, which keeps Select/Update/recomputeProbs — and therefore the
+// realized trajectories — bit-identical to private-storage learners.
+//
+// Slots are compacted on release (swap-with-last), so the slabs stay dense
+// under arbitrary join/leave churn: len(handles) live slots, no holes.
+// Slot strides are rounded up to whole cache lines so two learners never
+// share a line even when adjacent slots are written by different shards.
+//
+// An Arena is not safe for concurrent structural edits (Adopt, Release,
+// growth); the owning System serializes those between stages. Concurrent
+// Select/Update on *distinct* resident learners is safe — they touch
+// disjoint slab regions.
+type Arena struct {
+	capM    int // largest action-set size a slot holds without regrowing
+	tStride int // float64s per slot in the matrix slab (>= capM²)
+	pStride int // float64s per slot in the probability slab (>= capM)
+	t       []float64
+	probs   []float64
+	handles []*Learner // resident learners in slot order (dense)
+}
+
+// cacheLineFloats is the slot-stride rounding unit: 8 float64s = 64 bytes,
+// one cache line, so adjacent slots never false-share.
+const cacheLineFloats = 8
+
+func roundCacheLine(n int) int {
+	return (n + cacheLineFloats - 1) &^ (cacheLineFloats - 1)
+}
+
+func arenaStrides(capM int) (tStride, pStride int) {
+	return roundCacheLine(capM * capM), roundCacheLine(capM)
+}
+
+// NewArena builds an empty arena whose slots hold learners with up to capM
+// actions; it regrows automatically (repacking every slot) when a resident
+// learner outgrows that. capM is clamped into [1, maxActions].
+func NewArena(capM int) *Arena {
+	if capM < 1 {
+		capM = 1
+	}
+	if capM > maxActions {
+		capM = maxActions
+	}
+	a := &Arena{capM: capM}
+	a.tStride, a.pStride = arenaStrides(capM)
+	return a
+}
+
+// Len returns the number of resident learners (== occupied slots; the
+// slabs have no holes).
+func (a *Arena) Len() int { return len(a.handles) }
+
+// CapM returns the largest action-set size a slot currently holds without
+// a regrow.
+func (a *Arena) CapM() int { return a.capM }
+
+// SlotBytes returns the slab bytes one resident learner occupies (both
+// slabs, stride-rounded) — the arena cost model PERF.md documents.
+func (a *Arena) SlotBytes() int { return (a.tStride + a.pStride) * 8 }
+
+// Contains reports whether l is resident in this arena.
+func (a *Arena) Contains(l *Learner) bool { return l.arena == a }
+
+// Adopt moves a learner's state into the arena: its matrix and probability
+// vector are copied into the next free slot and the learner's slice
+// headers re-pointed at the slabs. All arithmetic state is preserved
+// exactly, so the learner's future trajectory is unchanged. Adopting a
+// learner already resident here is a no-op; a learner resident in another
+// arena must be Released first (panics otherwise).
+func (a *Arena) Adopt(l *Learner) {
+	if l.arena == a {
+		return
+	}
+	if l.arena != nil {
+		panic("regret: Adopt of a learner resident in another arena")
+	}
+	if l.m > a.capM {
+		a.growTo(l.m)
+	}
+	slot := len(a.handles)
+	a.ensureSlots(slot + 1)
+	copy(a.t[slot*a.tStride:], l.t)
+	copy(a.probs[slot*a.pStride:], l.probs)
+	a.handles = append(a.handles, l)
+	l.arena, l.slot = a, slot
+	a.bind(l)
+}
+
+// Release moves a resident learner's state back out to private heap
+// storage (the learner keeps working, just without the arena layout) and
+// compacts the freed slot by moving the last occupied slot into it —
+// swap-with-last keeps the slabs dense under churn. Releasing a learner
+// that is not resident anywhere is a no-op; releasing one resident in a
+// different arena panics.
+func (a *Arena) Release(l *Learner) {
+	if l.arena == nil {
+		return
+	}
+	if l.arena != a {
+		panic("regret: Release of a learner resident in another arena")
+	}
+	slot := l.slot
+	t := make([]float64, l.m*l.m)
+	copy(t, l.t)
+	p := make([]float64, l.m)
+	copy(p, l.probs)
+	l.t, l.probs = t, p
+	l.arena, l.slot = nil, 0
+	a.compact(slot)
+}
+
+// bind re-derives l's slice headers from its slot and current size. The
+// three-index slice caps both views at the slot boundary so no in-place
+// repack or reslice can cross into a neighbouring learner's slot.
+//
+//rths:hotpath
+func (a *Arena) bind(l *Learner) {
+	off := l.slot * a.tStride
+	l.t = a.t[off : off+l.m*l.m : off+a.tStride]
+	poff := l.slot * a.pStride
+	l.probs = a.probs[poff : poff+l.m : poff+a.pStride]
+}
+
+// rebindAll re-derives every resident learner's slice headers — required
+// after any slab reallocation, which invalidates all previous headers.
+func (a *Arena) rebindAll() {
+	for _, l := range a.handles {
+		a.bind(l)
+	}
+}
+
+// Discard releases a resident learner that is about to be destroyed: the
+// slot is compacted exactly like Release, but the state is not copied out
+// to fresh private storage — the learner's slices are nilled, leaving it
+// permanently unusable (Select/Update will panic). The peer-removal path
+// uses this: a removed peer's selector is dead by contract, and skipping
+// the copy-out keeps departure churn (including every cluster channel
+// switch, which is remove + fresh add) allocation-free on the departing
+// side. Discarding a non-resident learner only nils its slices; a learner
+// resident in a different arena panics.
+func (a *Arena) Discard(l *Learner) {
+	if l.arena != nil {
+		if l.arena != a {
+			panic("regret: Discard of a learner resident in another arena")
+		}
+		a.compact(l.slot)
+		l.arena, l.slot = nil, 0
+	}
+	l.t, l.probs = nil, nil
+}
+
+// compact frees the given slot by moving the last occupied slot's data
+// into it (swap-with-last), keeping the slabs dense.
+func (a *Arena) compact(slot int) {
+	lastIdx := len(a.handles) - 1
+	last := a.handles[lastIdx]
+	a.handles[lastIdx] = nil
+	a.handles = a.handles[:lastIdx]
+	if slot != lastIdx {
+		copy(a.t[slot*a.tStride:], a.t[lastIdx*a.tStride:lastIdx*a.tStride+last.m*last.m])
+		copy(a.probs[slot*a.pStride:], a.probs[lastIdx*a.pStride:lastIdx*a.pStride+last.m])
+		last.slot = slot
+		a.handles[slot] = last
+		a.bind(last)
+	}
+}
+
+// Reserve pre-sizes the slabs for at least n resident learners, so a
+// known-size adoption wave (system construction, a replayed join burst)
+// allocates its slabs once instead of leaving O(n) doubling garbage
+// behind. No-op when capacity is already sufficient.
+func (a *Arena) Reserve(n int) {
+	if n <= 0 || n*a.tStride <= len(a.t) {
+		return
+	}
+	nt := make([]float64, n*a.tStride)
+	copy(nt, a.t)
+	np := make([]float64, n*a.pStride)
+	copy(np, a.probs)
+	a.t, a.probs = nt, np
+	a.rebindAll()
+}
+
+// ensureSlots grows the slabs to hold at least n slots (amortized
+// doubling). Cold path: runs only on adoption beyond current capacity.
+func (a *Arena) ensureSlots(n int) {
+	if n*a.tStride <= len(a.t) {
+		return
+	}
+	slots := 2 * n
+	nt := make([]float64, slots*a.tStride)
+	copy(nt, a.t)
+	np := make([]float64, slots*a.pStride)
+	copy(np, a.probs)
+	a.t, a.probs = nt, np
+	a.rebindAll()
+}
+
+// growTo raises capM to hold m-action learners: new strides, fresh slabs,
+// every occupied slot repacked and every handle rebound. Geometric growth
+// amortizes repeated AddHelper-driven regrows; the slot layout never
+// affects the learners' arithmetic, so any growth policy is
+// determinism-safe. Cold path.
+func (a *Arena) growTo(m int) {
+	if m <= a.capM {
+		return
+	}
+	ncap := a.capM + a.capM/2
+	if ncap < m {
+		ncap = m
+	}
+	if ncap > maxActions {
+		ncap = maxActions
+	}
+	nts, nps := arenaStrides(ncap)
+	slots := 2 * len(a.handles)
+	if slots < 1 {
+		slots = 1
+	}
+	nt := make([]float64, slots*nts)
+	np := make([]float64, slots*nps)
+	for i, l := range a.handles {
+		copy(nt[i*nts:], a.t[i*a.tStride:i*a.tStride+l.m*l.m])
+		copy(np[i*nps:], a.probs[i*a.pStride:i*a.pStride+l.m])
+	}
+	a.capM, a.tStride, a.pStride = ncap, nts, nps
+	a.t, a.probs = nt, np
+	a.rebindAll()
+}

@@ -1,0 +1,240 @@
+package regret
+
+import (
+	"testing"
+
+	"rths/internal/xrand"
+)
+
+func arenaTestConfig(m int) Config {
+	return Config{NumActions: m, StepSize: 0.02, Exploration: 0.05, Mu: 0.1, Mode: ModeTracking}
+}
+
+// driveChurn replays the same select/update/churn trajectory on a learner
+// using a private RNG clone, returning the action-set size at the end.
+// Every 97 stages the action set churns (grow until 2·m0, then shrink),
+// so slot repacks, renormalizations and the lazy-decay fold all run many
+// times over the horizon.
+func driveChurn(t *testing.T, l *Learner, seed uint64, stages, m0 int) {
+	t.Helper()
+	r := xrand.New(seed)
+	for s := 0; s < stages; s++ {
+		if s > 0 && s%97 == 0 {
+			if l.NumActions() < 2*m0 {
+				l.AddAction()
+			} else {
+				for l.NumActions() > m0 {
+					l.RemoveAction(r.Intn(l.NumActions()))
+				}
+			}
+		}
+		a := l.Select(r)
+		if err := l.Update(a, r.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// An arena-resident learner must realize the exact trajectory of its
+// private-storage twin: adoption moves bytes, never arithmetic. The churn
+// schedule grows the action set past the arena's initial capacity, so the
+// slot regrow path is exercised too.
+func TestArenaResidentMatchesPrivate(t *testing.T) {
+	const stages = 1500
+	for _, m0 := range []int{3, 8} {
+		private := MustNew(arenaTestConfig(m0))
+		resident := MustNew(arenaTestConfig(m0))
+		a := NewArena(m0) // deliberately tight: AddAction forces growTo
+		a.Adopt(resident)
+		driveChurn(t, private, 11, stages, m0)
+		driveChurn(t, resident, 11, stages, m0)
+		if private.m != resident.m || private.stage != resident.stage {
+			t.Fatalf("m0=%d: shape diverged: m %d vs %d, stage %d vs %d",
+				m0, private.m, resident.m, private.stage, resident.stage)
+		}
+		if private.w != resident.w {
+			t.Fatalf("m0=%d: decay weight diverged: %g vs %g", m0, private.w, resident.w)
+		}
+		for i := range private.t {
+			if private.t[i] != resident.t[i] {
+				t.Fatalf("m0=%d: t[%d] diverged: %g vs %g", m0, i, private.t[i], resident.t[i])
+			}
+		}
+		for i := range private.probs {
+			if private.probs[i] != resident.probs[i] {
+				t.Fatalf("m0=%d: probs[%d] diverged: %g vs %g", m0, i, private.probs[i], resident.probs[i])
+			}
+		}
+	}
+}
+
+// Release must hand the learner back fully functional private storage and
+// keep the arena dense (swap-with-last compaction): after any release
+// sequence, Len() occupied slots remain, every survivor still resident,
+// and every learner — released or resident — continues on the exact
+// trajectory of an undisturbed twin.
+func TestArenaReleaseCompacts(t *testing.T) {
+	const n, m0 = 32, 4
+	a := NewArena(m0)
+	twins := make([]*Learner, n)
+	subjects := make([]*Learner, n)
+	for i := range subjects {
+		twins[i] = MustNew(arenaTestConfig(m0))
+		subjects[i] = MustNew(arenaTestConfig(m0))
+		a.Adopt(subjects[i])
+		// Differentiate the learners so slot moves carry distinct state.
+		driveChurn(t, twins[i], uint64(100+i), 50+i, m0)
+		driveChurn(t, subjects[i], uint64(100+i), 50+i, m0)
+	}
+	// Release every third learner (front, middle, back included).
+	released := map[int]bool{}
+	for i := 0; i < n; i += 3 {
+		a.Release(subjects[i])
+		released[i] = true
+	}
+	if want := n - len(released); a.Len() != want {
+		t.Fatalf("arena holds %d slots after releases, want %d", a.Len(), want)
+	}
+	for i, l := range subjects {
+		if got := a.Contains(l); got == released[i] {
+			t.Fatalf("learner %d residency = %v, released = %v", i, got, released[i])
+		}
+	}
+	// Everyone — moved, released, untouched — continues identically.
+	for i := range subjects {
+		driveChurn(t, twins[i], uint64(500+i), 300, m0)
+		driveChurn(t, subjects[i], uint64(500+i), 300, m0)
+		for j := range twins[i].probs {
+			if twins[i].probs[j] != subjects[i].probs[j] {
+				t.Fatalf("learner %d (released=%v) diverged after compaction", i, released[i])
+			}
+		}
+	}
+	// Double release is a harmless no-op.
+	a.Release(subjects[0])
+	if a.Len() != n-len(released) {
+		t.Fatal("double Release changed the arena")
+	}
+}
+
+// Discard compacts like Release but skips the copy-out: the survivors'
+// trajectories are untouched, the discarded learner is left unusable,
+// and the operation itself allocates nothing — the contract the
+// peer-departure path (including every cluster channel switch) rides.
+func TestArenaDiscardCompactsWithoutAllocating(t *testing.T) {
+	const n, m0 = 24, 4
+	a := NewArena(m0)
+	twins := make([]*Learner, n)
+	subjects := make([]*Learner, n)
+	for i := range subjects {
+		twins[i] = MustNew(arenaTestConfig(m0))
+		subjects[i] = MustNew(arenaTestConfig(m0))
+		a.Adopt(subjects[i])
+		driveChurn(t, twins[i], uint64(40+i), 30+i, m0)
+		driveChurn(t, subjects[i], uint64(40+i), 30+i, m0)
+	}
+	discarded := map[int]bool{}
+	for i := 0; i < n; i += 3 {
+		l := subjects[i]
+		if got := testing.AllocsPerRun(1, func() { a.Discard(l) }); got != 0 {
+			t.Fatalf("Discard allocates %g objects, want 0", got)
+		}
+		discarded[i] = true
+		if a.Contains(l) || l.t != nil || l.probs != nil {
+			t.Fatalf("learner %d still holds storage after Discard", i)
+		}
+	}
+	if want := n - len(discarded); a.Len() != want {
+		t.Fatalf("arena holds %d slots after discards, want %d", a.Len(), want)
+	}
+	// Survivors — moved by compaction or not — continue bit-identically.
+	for i := range subjects {
+		if discarded[i] {
+			continue
+		}
+		driveChurn(t, twins[i], uint64(900+i), 200, m0)
+		driveChurn(t, subjects[i], uint64(900+i), 200, m0)
+		for j := range twins[i].probs {
+			if twins[i].probs[j] != subjects[i].probs[j] {
+				t.Fatalf("survivor %d diverged after Discard compaction", i)
+			}
+		}
+	}
+	// Discarding a non-resident (already discarded or private) learner
+	// just nils its slices.
+	a.Discard(subjects[0])
+	priv := MustNew(arenaTestConfig(m0))
+	a.Discard(priv)
+	if priv.t != nil || a.Len() != n-len(discarded) {
+		t.Fatal("Discard of a non-resident learner touched the arena")
+	}
+}
+
+// Cross-arena moves must be explicit: adopting a learner resident
+// elsewhere panics rather than silently corrupting two arenas.
+func TestArenaCrossAdoptPanics(t *testing.T) {
+	a, b := NewArena(4), NewArena(4)
+	l := MustNew(arenaTestConfig(4))
+	a.Adopt(l)
+	a.Adopt(l) // same-arena re-adopt is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-arena Adopt did not panic")
+		}
+	}()
+	b.Adopt(l)
+}
+
+// Steady-state Select/Update on a resident learner stays allocation-free,
+// and so do in-slot AddAction/RemoveAction once the arena capacity covers
+// the transient (the add-then-remove swap the view refresh performs) —
+// the property that makes churn-heavy view refresh stages allocation-free
+// in the engine.
+func TestArenaZeroAllocs(t *testing.T) {
+	const m = 8
+	a := NewArena(m + 1) // +1 headroom: the add-before-remove transient
+	l := MustNew(arenaTestConfig(m))
+	a.Adopt(l)
+	r := xrand.New(3)
+	for s := 0; s < 64; s++ {
+		if err := l.Update(l.Select(r), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := l.Update(l.Select(r), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("resident Select+Update allocates %g/stage, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		l.AddAction()
+		l.RemoveAction(l.MinProbAction())
+		if err := l.Update(l.Select(r), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("in-slot AddAction+RemoveAction allocates %g/cycle, want 0", allocs)
+	}
+}
+
+// The slot strides must be cache-line multiples (the false-sharing
+// argument of PERF.md's arena section) and SlotBytes must account for
+// both slabs.
+func TestArenaSlotGeometry(t *testing.T) {
+	for _, capM := range []int{1, 4, 16, 100, 256} {
+		a := NewArena(capM)
+		if a.tStride%cacheLineFloats != 0 || a.pStride%cacheLineFloats != 0 {
+			t.Fatalf("capM=%d: strides %d/%d not cache-line aligned", capM, a.tStride, a.pStride)
+		}
+		if a.tStride < capM*capM || a.pStride < capM {
+			t.Fatalf("capM=%d: strides %d/%d too small", capM, a.tStride, a.pStride)
+		}
+		if a.SlotBytes() != (a.tStride+a.pStride)*8 {
+			t.Fatalf("capM=%d: SlotBytes inconsistent", capM)
+		}
+	}
+}

@@ -170,6 +170,14 @@ type Learner struct {
 	keep   float64 // 1-δ
 	floorP float64 // δ/m
 	capQ   float64 // 1/(m-1); 1 when m == 1
+
+	// arena/slot locate the learner's storage when it is resident in an
+	// Arena (t and probs are then subslices of the arena slabs); a nil
+	// arena means private heap storage. Residency changes only through
+	// Arena.Adopt/Release — it never changes the arithmetic, only where
+	// the bytes live.
+	arena *Arena
+	slot  int
 }
 
 // renormFloor is the lazy-decay underflow threshold: when the running decay
@@ -440,7 +448,10 @@ func (l *Learner) materialize() {
 
 // AddAction grows the action set by one (a helper joined). The new action
 // starts with zero regret and immediately receives the exploration floor;
-// existing probabilities are rescaled to make room.
+// existing probabilities are rescaled to make room. Arena-resident
+// learners repack in place inside their slot (allocation-free unless the
+// arena must regrow); private learners reallocate. Both paths perform the
+// identical arithmetic, so the trajectories agree bit-for-bit.
 func (l *Learner) AddAction() {
 	m := l.m
 	nm := m + 1
@@ -448,6 +459,22 @@ func (l *Learner) AddAction() {
 		panic(fmt.Sprintf("regret: AddAction beyond %d actions", maxActions))
 	}
 	l.materialize()
+	if l.arena != nil {
+		l.addActionArena(m, nm)
+	} else {
+		l.addActionAlloc(m, nm)
+	}
+	l.m = nm
+	l.last = -1
+	l.sizeConstants()
+	if l.arena != nil {
+		l.arena.bind(l)
+	}
+}
+
+// addActionAlloc is the private-storage growth path: fresh slices, old
+// state copied into the top-left block.
+func (l *Learner) addActionAlloc(m, nm int) {
 	nt := make([]float64, nm*nm)
 	for j := 0; j < m; j++ {
 		copy(nt[j*nm:j*nm+m], l.t[j*m:(j+1)*m])
@@ -461,9 +488,38 @@ func (l *Learner) AddAction() {
 	}
 	np[m] = floor
 	l.probs = np
-	l.m = nm
-	l.last = -1
-	l.sizeConstants()
+}
+
+// addActionArena repacks the m×m matrix to (m+1)×(m+1) in place inside
+// the learner's slot: rows move backward (row j from offset j·m to
+// j·(m+1), descending j, so targets never overwrite unread sources) and
+// the new column/row are zeroed explicitly — the slot may hold stale
+// values from a previous occupant or repack. Same arithmetic as the
+// allocating path, no allocation.
+//
+//rths:hotpath
+func (l *Learner) addActionArena(m, nm int) {
+	a := l.arena
+	if nm > a.capM {
+		a.growTo(nm) // cold: repacks the slab and rebinds l
+	}
+	t := l.t[:nm*nm]
+	for j := m - 1; j >= 0; j-- {
+		copy(t[j*nm:j*nm+m], t[j*m:j*m+m])
+		t[j*nm+m] = 0
+	}
+	for c := m * nm; c < nm*nm; c++ {
+		t[c] = 0
+	}
+	l.t = t
+	floor := l.cfg.Exploration / float64(nm)
+	rescale := 1 - floor
+	p := l.probs[:nm]
+	for k := 0; k < m; k++ {
+		p[k] = p[k] * rescale
+	}
+	p[m] = floor
+	l.probs = p
 }
 
 // RemoveAction deletes action k (a helper left). Its regret state is
@@ -479,6 +535,22 @@ func (l *Learner) RemoveAction(k int) {
 	l.materialize()
 	m := l.m
 	nm := m - 1
+	if l.arena != nil {
+		l.removeActionArena(k, m, nm)
+	} else {
+		l.removeActionAlloc(k, m, nm)
+	}
+	l.m = nm
+	l.last = -1
+	l.sizeConstants()
+	if l.arena != nil {
+		l.arena.bind(l)
+	}
+}
+
+// removeActionAlloc is the private-storage shrink path: fresh slices with
+// row/column k dropped.
+func (l *Learner) removeActionAlloc(k, m, nm int) {
 	nt := make([]float64, nm*nm)
 	for j, nj := 0, 0; j < m; j++ {
 		if j == k {
@@ -513,7 +585,51 @@ func (l *Learner) RemoveAction(k int) {
 		}
 	}
 	l.probs = np
-	l.m = nm
-	l.last = -1
-	l.sizeConstants()
+}
+
+// removeActionArena drops row/column k by repacking forward in place
+// inside the learner's slot: every target offset nj·nm+nc is ≤ its source
+// offset j·m+c and sources are consumed in increasing order, so nothing
+// is overwritten before it is read. The surviving probabilities are
+// compacted and renormalized in the same accumulation order as the
+// allocating path, so the arithmetic is bit-identical. No allocation.
+//
+//rths:hotpath
+func (l *Learner) removeActionArena(k, m, nm int) {
+	t := l.t
+	for j, nj := 0, 0; j < m; j++ {
+		if j == k {
+			continue
+		}
+		for c, nc := 0, 0; c < m; c++ {
+			if c == k {
+				continue
+			}
+			t[nj*nm+nc] = t[j*m+c]
+			nc++
+		}
+		nj++
+	}
+	p := l.probs
+	sum := 0.0
+	for i, nc := 0, 0; i < m; i++ {
+		if i == k {
+			continue
+		}
+		v := p[i]
+		p[nc] = v
+		sum += v
+		nc++
+	}
+	np := p[:nm]
+	if sum <= 0 {
+		for i := range np {
+			np[i] = 1 / float64(nm)
+		}
+	} else {
+		for i := range np {
+			np[i] /= sum
+		}
+	}
+	l.probs = np
 }
